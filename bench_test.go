@@ -1,0 +1,224 @@
+package domino
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/experiments"
+	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/rtc"
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+// Every table and figure of the paper's evaluation has a benchmark that
+// regenerates it (DESIGN.md §6). Benchmarks double as the reproduction
+// harness: run `go test -bench=. -benchmem` to regenerate all
+// artifacts; per-artifact text output comes from cmd/experiments.
+
+const benchDuration = 20 * sim.Second
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := experiments.Options{Duration: benchDuration, Seed: 1, Sessions: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Text) == 0 {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+func BenchmarkTable1DatasetRates(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkFig2DelayCDF(b *testing.B)          { benchExperiment(b, "fig2") }
+func BenchmarkFig3JitterBuffer(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig4Playback(b *testing.B)          { benchExperiment(b, "fig4") }
+func BenchmarkFig5ZoomJitter(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6ZoomLoss(b *testing.B)          { benchExperiment(b, "fig6") }
+func BenchmarkFig8CellMetrics(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig10EventFrequencies(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkTable2ConditionalProb(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3Resolutions(b *testing.B)     { benchExperiment(b, "table3") }
+func BenchmarkTable4ChainRatios(b *testing.B)     { benchExperiment(b, "table4") }
+func BenchmarkFig11Codegen(b *testing.B)          { benchExperiment(b, "fig11") }
+func BenchmarkFig12ChannelDip(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13CrossTraffic(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkFig14DelaySpread(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig16ProactiveGrants(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFig17HARQ(b *testing.B)             { benchExperiment(b, "fig17") }
+func BenchmarkFig18RLCRetx(b *testing.B)          { benchExperiment(b, "fig18") }
+func BenchmarkFig19RRC(b *testing.B)              { benchExperiment(b, "fig19") }
+func BenchmarkFig20Freeze(b *testing.B)           { benchExperiment(b, "fig20") }
+func BenchmarkFig21GCCTargetRate(b *testing.B)    { benchExperiment(b, "fig21") }
+func BenchmarkFig22Pushback(b *testing.B)         { benchExperiment(b, "fig22") }
+func BenchmarkHeadlineEventsPerMin(b *testing.B)  { benchExperiment(b, "headline") }
+
+// --- Component benchmarks: simulator throughput and analyzer cost. ---
+
+// BenchmarkSimulatedCallSecond measures simulator throughput: one
+// simulated call-second on the Amarisoft preset per iteration.
+func BenchmarkSimulatedCallSecond(b *testing.B) {
+	sess, err := rtc.NewSession(rtc.DefaultSessionConfig(ran.Amarisoft(), 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.Local.Start()
+	sess.Remote.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Engine.RunUntil(sim.Time(i+1) * sim.Second)
+	}
+}
+
+// benchTraceSet builds one reusable trace for analyzer benchmarks.
+func benchTraceSet(b *testing.B) *trace.Set {
+	b.Helper()
+	sess, err := rtc.NewSession(rtc.DefaultSessionConfig(ran.Amarisoft(), 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sess.Run(30 * sim.Second)
+}
+
+// BenchmarkAnalyzerInterp measures the in-process backward-trace
+// detector over a 30 s cross-layer trace.
+func BenchmarkAnalyzerInterp(b *testing.B) {
+	set := benchTraceSet(b)
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analyzer.Analyze(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorCodegen measures generating the Go detector source
+// from the default graph (the Fig. 11 path).
+func BenchmarkDetectorCodegen(b *testing.B) {
+	g := core.DefaultGraph()
+	for i := 0; i < b.N; i++ {
+		src := core.GenerateGo(g, "detect")
+		if !strings.Contains(src, "BackwardTrace") {
+			b.Fatal("bad codegen")
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §7). ---
+
+// BenchmarkAblationWindow sweeps the sliding-window length W and
+// reports detected chain events, showing detection stability versus
+// window geometry.
+func BenchmarkAblationWindow(b *testing.B) {
+	set := benchTraceSet(b)
+	for _, w := range []sim.Time{2 * sim.Second, 5 * sim.Second, 10 * sim.Second} {
+		name := w.String()
+		b.Run("W="+name, func(b *testing.B) {
+			analyzer, err := core.NewAnalyzer(core.DetectorConfig{Window: w}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var events int
+			for i := 0; i < b.N; i++ {
+				rep, err := analyzer.Analyze(set)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = rep.TotalChainEvents()
+			}
+			b.ReportMetric(float64(events), "chain-events")
+		})
+	}
+}
+
+// BenchmarkAblationProactiveGrants compares first-packet UL latency
+// with and without Mosolabs-style proactive grants.
+func BenchmarkAblationProactiveGrants(b *testing.B) {
+	for _, pro := range []bool{true, false} {
+		name := "proactive=off"
+		if pro {
+			name = "proactive=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var medMs float64
+			for i := 0; i < b.N; i++ {
+				cfg := ran.Mosolabs()
+				cfg.ULGrants.Proactive = pro
+				sess, err := rtc.NewSession(rtc.DefaultSessionConfig(cfg, uint64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				set := sess.Run(benchDuration)
+				delays := set.PacketDelays(0) // uplink, all kinds
+				if len(delays) == 0 {
+					b.Fatal("no packets")
+				}
+				sum := 0.0
+				for _, d := range delays {
+					sum += d
+				}
+				medMs = sum / float64(len(delays))
+			}
+			b.ReportMetric(medMs, "mean-UL-delay-ms")
+		})
+	}
+}
+
+// BenchmarkAblationHARQLimit sweeps the HARQ retransmission cap and
+// reports RLC recovery activity: lower caps push recovery to the
+// (much slower) RLC layer.
+func BenchmarkAblationHARQLimit(b *testing.B) {
+	for _, maxAttempts := range []int{2, 5, 8} {
+		b.Run("maxAttempts="+string(rune('0'+maxAttempts)), func(b *testing.B) {
+			var rlcRetx uint64
+			for i := 0; i < b.N; i++ {
+				cfg := ran.Amarisoft()
+				cfg.HARQ.MaxAttempts = maxAttempts
+				sess, err := rtc.NewSession(rtc.DefaultSessionConfig(cfg, 9))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess.Run(benchDuration)
+				rlcRetx = sess.Cell.ULStats().RLCRetx
+			}
+			b.ReportMetric(float64(rlcRetx), "rlc-retx")
+		})
+	}
+}
+
+// BenchmarkAblationTrendlineThreshold compares the adaptive threshold
+// against a fixed one by counting overuse events on the same trace.
+func BenchmarkAblationTrendlineThreshold(b *testing.B) {
+	for _, adaptive := range []bool{true, false} {
+		name := "threshold=fixed"
+		if adaptive {
+			name = "threshold=adaptive"
+		}
+		b.Run(name, func(b *testing.B) {
+			var overuses uint64
+			for i := 0; i < b.N; i++ {
+				cfg := rtc.DefaultSessionConfig(ran.TMobileFDD(), 13)
+				if !adaptive {
+					// Freeze the threshold by zeroing the gains.
+					cfg.Local.GCC.Trendline.KUp = 0
+					cfg.Local.GCC.Trendline.KDown = 0
+				}
+				sess, err := rtc.NewSession(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess.Run(benchDuration)
+				overuses = sess.Local.Controller().Snapshot(benchDuration).OveruseEvents
+			}
+			b.ReportMetric(float64(overuses), "overuse-events")
+		})
+	}
+}

@@ -1,0 +1,119 @@
+// Command domino analyzes a cross-layer trace (JSONL) with the Domino
+// causal-chain detector and reports detected events, matched chains,
+// and root-cause statistics.
+//
+// Usage:
+//
+//	domino -trace call.jsonl [-graph chains.txt] [-codegen out.go] [-v]
+//
+// Without -graph the paper's default Fig. 9 graph (24 chains) is used.
+// -codegen writes the generated Go detector for the graph and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/domino5g/domino"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "path to a JSONL trace set (required unless -codegen)")
+	graphPath := flag.String("graph", "", "path to a causal-chain DSL file (default: built-in Fig. 9 graph)")
+	codegen := flag.String("codegen", "", "write the generated Go detector to this path and exit")
+	verbose := flag.Bool("v", false, "print per-window chain matches")
+	flag.Parse()
+
+	graph := domino.DefaultGraph()
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := domino.ParseChains(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *graphPath, err))
+		}
+		graph = g
+	}
+
+	if *codegen != "" {
+		src := domino.GenerateGo(graph, "detect")
+		if err := os.WriteFile(*codegen, []byte(src), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote generated detector (%d chains) to %s\n", len(graph.EnumerateChains()), *codegen)
+		return
+	}
+
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	set, err := domino.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("reading trace: %w", err))
+	}
+
+	analyzer, err := domino.NewAnalyzer(domino.DetectorConfig{}, graph)
+	if err != nil {
+		fatal(err)
+	}
+	report, err := analyzer.Analyze(set)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace: %s (%v, %d chains configured)\n\n", set.CellName, set.Duration, len(analyzer.Chains()))
+	fmt.Println("5G causes (events/min):")
+	for _, c := range domino.CauseClasses() {
+		fmt.Printf("  %-18s %6.2f\n", c, report.EventsPerMinute(c))
+	}
+	fmt.Println("\nWebRTC consequences (events/min):")
+	for _, c := range domino.ConsequenceClasses() {
+		fmt.Printf("  %-22s %6.2f\n", c, report.EventsPerMinute(c))
+	}
+	fmt.Printf("\ndegradation events/min: %.2f\n",
+		report.DegradationEventsPerMinute(domino.ConsequenceClasses()))
+
+	fmt.Println("\ntop matched chains:")
+	for _, cc := range report.TopChains(10) {
+		fmt.Printf("  %4d×  %s\n", cc.Events, cc.Chain.String())
+	}
+
+	probs := report.ConditionalProbabilities(domino.CauseClasses(), domino.ConsequenceClasses())
+	fmt.Println("\nP(cause | consequence):")
+	for _, cons := range domino.ConsequenceClasses() {
+		fmt.Printf("  %s:\n", cons)
+		for _, cause := range domino.CauseClasses() {
+			if p := probs[cons][cause]; p > 0 {
+				fmt.Printf("    %-18s %5.1f%%\n", cause, p*100)
+			}
+		}
+		if p := probs[cons]["unknown"]; p > 0 {
+			fmt.Printf("    %-18s %5.1f%%\n", "unknown", p*100)
+		}
+	}
+
+	if *verbose {
+		fmt.Println("\nper-window matches:")
+		for _, w := range report.Windows {
+			if len(w.ChainIDs) == 0 {
+				continue
+			}
+			fmt.Printf("  [%v, %v) chains=%v causes=%v\n", w.Vector.Start, w.Vector.End, w.ChainIDs, w.Causes)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "domino:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Command experiments regenerates the paper's tables and figures from
+// the simulator substrate.
+//
+// Usage:
+//
+//	experiments                  # run everything
+//	experiments fig10 table2     # run selected artifacts
+//	experiments -duration 120 -sessions 2 fig10
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/domino5g/domino/internal/experiments"
+	"github.com/domino5g/domino/internal/sim"
+)
+
+func main() {
+	duration := flag.Int("duration", 60, "per-session call duration in seconds")
+	sessions := flag.Int("sessions", 1, "sessions per cell for aggregate statistics")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Duration: sim.Time(*duration) * sim.Second,
+		Sessions: *sessions,
+		Seed:     *seed,
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s\n", res.Title)
+		fmt.Printf("    [%s]\n\n", res.PaperRef)
+		fmt.Println(res.Text)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,66 @@
+// Command tracegen simulates a two-party WebRTC call over one of the
+// paper's 5G cell presets and writes the resulting cross-layer trace
+// as JSONL for analysis with cmd/domino.
+//
+// Usage:
+//
+//	tracegen -cell amarisoft -duration 60 -seed 7 -o call.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/domino5g/domino"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+func main() {
+	cell := flag.String("cell", "amarisoft", "cell preset: fdd, tdd, amarisoft, mosolabs")
+	duration := flag.Int("duration", 60, "call duration in seconds")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	out := flag.String("o", "-", "output path ('-' for stdout)")
+	csvDir := flag.String("csv", "", "also write packets.csv/dci.csv/stats.csv into this directory")
+	flag.Parse()
+
+	cfg, err := domino.PresetByName(*cell)
+	if err != nil {
+		fatal(err)
+	}
+	sess, err := domino.NewSession(domino.DefaultSessionConfig(cfg, *seed))
+	if err != nil {
+		fatal(err)
+	}
+	set := sess.Run(domino.Time(*duration) * domino.Second)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := domino.WriteTrace(w, set); err != nil {
+		fatal(err)
+	}
+	if *csvDir != "" {
+		if err := trace.WriteCSVBundle(func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(*csvDir, name))
+		}, set); err != nil {
+			fatal(err)
+		}
+	}
+	c := set.Counts()
+	fmt.Fprintf(os.Stderr, "tracegen: %s, %ds: %d DCI, %d gNB, %d packets, %d stats records\n",
+		cfg.Name, *duration, c.DCI, c.GNBLog, c.Packets, c.WebRTC)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Package domino is the public API of the Domino reproduction: an
+// automated, cross-layer root-cause analyzer for 5G video-conferencing
+// quality degradation (Yi et al., IMC 2025), together with the
+// simulation substrate used to reproduce the paper's evaluation.
+//
+// The analysis pipeline:
+//
+//	graph, _ := domino.ParseChains(strings.NewReader(domino.DefaultChainsText))
+//	analyzer, _ := domino.NewAnalyzer(domino.DetectorConfig{}, graph)
+//	report, _ := analyzer.Analyze(traceSet)
+//	fmt.Println(report.EventsPerMinute("harq_retx"))
+//
+// Trace sets come either from the built-in 5G+WebRTC simulator (see
+// NewSession / Presets) or from external telemetry converted to the
+// JSONL trace format (ReadTrace).
+package domino
+
+import (
+	"io"
+
+	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/rtc"
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+// Re-exported analysis types.
+type (
+	// Analyzer slides the detection window over a trace and matches
+	// causal chains.
+	Analyzer = core.Analyzer
+	// DetectorConfig holds window geometry and Table 5 thresholds.
+	DetectorConfig = core.DetectorConfig
+	// Graph is the user-configurable causal DAG.
+	Graph = core.Graph
+	// Chain is one root-to-consequence path.
+	Chain = core.Chain
+	// Report is a full analysis result.
+	Report = core.Report
+	// TraceSet is a merged cross-layer trace.
+	TraceSet = trace.Set
+	// Session is a simulated two-party call over a 5G cell.
+	Session = rtc.Session
+	// SessionConfig parameterizes a simulated call.
+	SessionConfig = rtc.SessionConfig
+	// CellConfig describes a simulated 5G cell.
+	CellConfig = ran.CellConfig
+	// Time is a simulation timestamp in microseconds.
+	Time = sim.Time
+)
+
+// DefaultChainsText is the paper's Fig. 9 causal graph in DSL form (24
+// chains).
+const DefaultChainsText = core.DefaultChainsText
+
+// Second re-exports the time unit for session durations.
+const Second = sim.Second
+
+// NewAnalyzer builds an analyzer; nil graph selects the default Fig. 9
+// graph and a zero config the paper's Table 5 thresholds.
+func NewAnalyzer(cfg DetectorConfig, g *Graph) (*Analyzer, error) {
+	return core.NewAnalyzer(cfg, g)
+}
+
+// ParseChains parses causal-chain DSL text.
+func ParseChains(r io.Reader) (*Graph, error) { return core.ParseChains(r) }
+
+// ParseChainsString parses causal-chain DSL text from a string.
+func ParseChainsString(s string) (*Graph, error) { return core.ParseChainsString(s) }
+
+// DefaultGraph returns the paper's Fig. 9 causal graph.
+func DefaultGraph() *Graph { return core.DefaultGraph() }
+
+// GenerateGo emits a standalone Go detector for a graph (Fig. 11).
+func GenerateGo(g *Graph, pkg string) string { return core.GenerateGo(g, pkg) }
+
+// DefaultDetectorConfig returns the paper's Table 5 thresholds.
+func DefaultDetectorConfig() DetectorConfig { return core.DefaultDetectorConfig() }
+
+// CauseClasses returns the six 5G cause classes of Fig. 9/10.
+func CauseClasses() []string { return core.CauseClasses() }
+
+// ConsequenceClasses returns the three WebRTC consequence classes.
+func ConsequenceClasses() []string { return core.ConsequenceClasses() }
+
+// NewSession builds a simulated two-party call; Run it to obtain a
+// trace set.
+func NewSession(cfg SessionConfig) (*Session, error) { return rtc.NewSession(cfg) }
+
+// DefaultSessionConfig returns a call on the given cell preset.
+func DefaultSessionConfig(cell CellConfig, seed uint64) SessionConfig {
+	return rtc.DefaultSessionConfig(cell, seed)
+}
+
+// Presets returns the paper's four cell configurations (Table 1).
+func Presets() []CellConfig { return ran.Presets() }
+
+// PresetByName looks a preset up by name ("fdd", "tdd", "amarisoft",
+// "mosolabs", or the full Table 1 name).
+func PresetByName(name string) (CellConfig, error) { return ran.PresetByName(name) }
+
+// ReadTrace loads a JSONL trace set.
+func ReadTrace(r io.Reader) (*TraceSet, error) { return trace.ReadJSONL(r) }
+
+// WriteTrace stores a trace set as JSONL.
+func WriteTrace(w io.Writer, set *TraceSet) error { return trace.WriteJSONL(w, set) }

@@ -1,0 +1,95 @@
+package domino
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIPipeline exercises the documented end-to-end flow: pick
+// a preset, simulate a call, analyze it, and round-trip the trace
+// through the JSONL format.
+func TestPublicAPIPipeline(t *testing.T) {
+	cell, err := PresetByName("mosolabs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(DefaultSessionConfig(cell, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sess.Run(15 * Second)
+
+	analyzer, err := NewAnalyzer(DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := analyzer.Analyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Duration != 15*Second {
+		t.Fatalf("report duration %v", report.Duration)
+	}
+	if len(analyzer.Chains()) != 24 {
+		t.Fatalf("default chains = %d, want 24", len(analyzer.Chains()))
+	}
+
+	// Trace round trip.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	set2, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set2.CellName != set.CellName || set2.Duration != set.Duration {
+		t.Fatal("trace header did not round trip")
+	}
+	c1, c2 := set.Counts(), set2.Counts()
+	if c1 != c2 {
+		t.Fatalf("record counts changed: %+v vs %+v", c1, c2)
+	}
+	// Re-analysis of the round-tripped trace must agree.
+	report2, err := analyzer.Analyze(set2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.TotalChainEvents() != report.TotalChainEvents() {
+		t.Fatal("analysis diverged after trace round trip")
+	}
+}
+
+func TestPublicChainParsing(t *testing.T) {
+	g, err := ParseChainsString(DefaultChainsText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.EnumerateChains()) != 24 {
+		t.Fatal("default chain text must produce 24 chains")
+	}
+	g2, err := ParseChains(strings.NewReader("a --> b --> c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := GenerateGo(g2, "demo")
+	if !strings.Contains(src, "package demo") || !strings.Contains(src, "BackwardTrace") {
+		t.Fatal("GenerateGo output malformed")
+	}
+}
+
+func TestPublicClassesAndPresets(t *testing.T) {
+	if len(CauseClasses()) != 6 {
+		t.Fatal("six cause classes")
+	}
+	if len(ConsequenceClasses()) != 3 {
+		t.Fatal("three consequence classes")
+	}
+	if len(Presets()) != 4 {
+		t.Fatal("four cell presets (Table 1)")
+	}
+	if DefaultDetectorConfig().Window != 5*Second {
+		t.Fatal("default window must be the paper's 5 s")
+	}
+}

@@ -1,0 +1,63 @@
+// Extensibility demo (the paper's Fig. 11): define new causal chains
+// in the text DSL, generate a standalone Go detector from them, and run
+// the same chains through the in-process analyzer — the two share one
+// backward-trace semantics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/domino5g/domino"
+)
+
+// A user-defined configuration: the exact two chains from the paper's
+// Fig. 11, plus a custom chain combining HARQ pressure on the uplink
+// with sender-side resolution drops.
+const chains = `# user-supplied chains
+dl_rlc_retx --> forward_delay_up --> local_jitter_buffer_drain
+dl_harq_retx --> forward_delay_up --> local_jitter_buffer_drain
+ul_harq_retx --> forward_delay_up --> local_outbound_resolution_down
+`
+
+func main() {
+	graph, err := domino.ParseChainsString(chains)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %d chains; causes=%v consequences=%v\n\n",
+		len(graph.EnumerateChains()), graph.Causes(), graph.Consequences())
+
+	// Generate the standalone detector (the paper emits Python; this
+	// reproduction emits Go).
+	fmt.Println("generated detector:")
+	fmt.Println(domino.GenerateGo(graph, "detect"))
+
+	// Run the same chains in-process against a simulated call on the
+	// poor-uplink Amarisoft cell.
+	cell, err := domino.PresetByName("amarisoft")
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := domino.NewSession(domino.DefaultSessionConfig(cell, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	traceSet := session.Run(45 * domino.Second)
+
+	analyzer, err := domino.NewAnalyzer(domino.DetectorConfig{}, graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := analyzer.Analyze(traceSet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("custom-chain matches:")
+	for _, cc := range report.TopChains(0) {
+		fmt.Printf("  %3d×  %s\n", cc.Events, cc.Chain.String())
+	}
+	if report.TotalChainEvents() == 0 {
+		fmt.Println("  (none in this run)")
+	}
+}

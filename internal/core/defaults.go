@@ -1,0 +1,71 @@
+package core
+
+// DefaultChainsText is the paper's Fig. 9 causal graph in DSL form.
+//
+// Six 5G root causes reach the WebRTC consequences through the delay
+// intermediates. Capacity causes (poor channel, cross traffic) act
+// through TBS reduction and buffer build-up; timing/reliability causes
+// (UL scheduling, HARQ retx, RLC retx, RRC transitions) inflate delay
+// directly. Forward (media-path) delay reaches all three consequences;
+// reverse (RTCP-path) delay only reaches the pushback controller
+// (Fig. 22). Root-to-sink paths: 6 causes × (3 forward + 1 reverse)
+// = the paper's 24 causal chains.
+const DefaultChainsText = `# Domino default causal graph (Fig. 9).
+# Cause classes OR over per-direction features; consequence classes OR
+# over the local/remote client.
+alias poor_channel = ul_channel_degrades | dl_channel_degrades
+alias cross_traffic = ul_cross_traffic | dl_cross_traffic
+alias harq_retx = ul_harq_retx | dl_harq_retx
+alias rlc_retx = ul_rlc_retx | dl_rlc_retx
+alias tbs_down = ul_tbs_down | dl_tbs_down
+alias rate_exceeds_tbs = ul_rate_exceeds_tbs | dl_rate_exceeds_tbs
+alias jitter_buffer_drain = local_jitter_buffer_drain | remote_jitter_buffer_drain
+alias gcc_overuse = local_gcc_overuse | remote_gcc_overuse
+alias target_bitrate_down = local_target_bitrate_down | remote_target_bitrate_down
+alias outstanding_bytes_up = local_outstanding_bytes_up | remote_outstanding_bytes_up
+alias cwnd_full = local_cwnd_full | remote_cwnd_full
+alias pushback_rate_down = local_pushback_rate_down | remote_pushback_rate_down
+
+# Capacity causes: PHY rate loss -> buffer build-up -> delay.
+poor_channel --> tbs_down --> rate_exceeds_tbs --> forward_delay_up
+cross_traffic --> tbs_down --> rate_exceeds_tbs --> forward_delay_up
+poor_channel --> tbs_down --> rate_exceeds_tbs --> reverse_delay_up
+cross_traffic --> tbs_down --> rate_exceeds_tbs --> reverse_delay_up
+
+# Timing/reliability causes: direct delay inflation.
+ul_scheduling --> forward_delay_up
+harq_retx --> forward_delay_up
+rlc_retx --> forward_delay_up
+rrc_state_change --> forward_delay_up
+ul_scheduling --> reverse_delay_up
+harq_retx --> reverse_delay_up
+rlc_retx --> reverse_delay_up
+rrc_state_change --> reverse_delay_up
+
+# Delay consequences at the application.
+forward_delay_up --> jitter_buffer_drain
+forward_delay_up --> gcc_overuse --> target_bitrate_down
+forward_delay_up --> outstanding_bytes_up --> cwnd_full --> pushback_rate_down
+reverse_delay_up --> outstanding_bytes_up --> cwnd_full --> pushback_rate_down
+`
+
+// DefaultGraph parses DefaultChainsText; it panics on error because the
+// embedded text is a compile-time constant validated by tests.
+func DefaultGraph() *Graph {
+	g, err := ParseChainsString(DefaultChainsText)
+	if err != nil {
+		panic("core: default chain text invalid: " + err.Error())
+	}
+	return g
+}
+
+// CauseClasses lists the paper's six cause classes in Fig. 10 order.
+func CauseClasses() []string {
+	return []string{"poor_channel", "cross_traffic", "ul_scheduling", "harq_retx", "rlc_retx", "rrc_state_change"}
+}
+
+// ConsequenceClasses lists the three consequence classes in Fig. 10
+// order.
+func ConsequenceClasses() []string {
+	return []string{"jitter_buffer_drain", "target_bitrate_down", "pushback_rate_down"}
+}

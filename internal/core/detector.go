@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+// Analyzer is the Domino detection engine: window geometry + event
+// thresholds + causal graph.
+type Analyzer struct {
+	cfg    DetectorConfig
+	graph  *Graph
+	chains []Chain
+}
+
+// NewAnalyzer builds an analyzer. A nil graph selects the paper's
+// default Fig. 9 graph; a zero config selects Table 5 thresholds.
+func NewAnalyzer(cfg DetectorConfig, graph *Graph) (*Analyzer, error) {
+	if graph == nil {
+		graph = DefaultGraph()
+	}
+	if err := graph.Validate(); err != nil {
+		return nil, err
+	}
+	return &Analyzer{cfg: cfg.normalize(), graph: graph, chains: graph.EnumerateChains()}, nil
+}
+
+// Graph returns the analyzer's causal graph.
+func (a *Analyzer) Graph() *Graph { return a.graph }
+
+// Chains returns the enumerated causal chains.
+func (a *Analyzer) Chains() []Chain { return a.chains }
+
+// Config returns the normalized detector configuration.
+func (a *Analyzer) Config() DetectorConfig { return a.cfg }
+
+// WindowResult is the detection output for one window position.
+type WindowResult struct {
+	Vector FeatureVector
+	// Consequences lists consequence-class nodes active in the window.
+	Consequences []string
+	// Causes lists cause nodes reached by backward tracing from an
+	// active consequence through fully-active chains.
+	Causes []string
+	// ChainIDs lists matched chain IDs (every node active).
+	ChainIDs []int
+}
+
+// EventRun is a maximal run of consecutive windows in which the same
+// node (or chain) stayed active — the unit Domino counts as one event,
+// collapsing the W/Δt-fold multiplicity of the sliding window.
+type EventRun struct {
+	Node       string
+	Start, End sim.Time
+	Windows    int
+}
+
+// ChainRun is a maximal run of windows matching one chain.
+type ChainRun struct {
+	Chain      Chain
+	Start, End sim.Time
+	Windows    int
+}
+
+// Report is the full analysis result for one trace set.
+type Report struct {
+	CellName string
+	Duration sim.Time
+	Windows  []WindowResult
+
+	// NodeEvents are collapsed event runs per node (causes,
+	// intermediates, consequences, and raw features).
+	NodeEvents map[string][]EventRun
+	// ChainEvents are collapsed runs per chain ID.
+	ChainEvents map[int][]ChainRun
+
+	chains []Chain
+}
+
+// Analyze runs Domino over a sorted trace set.
+func (a *Analyzer) Analyze(set *trace.Set) (*Report, error) {
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid trace: %w", err)
+	}
+	ix := newIndexedTrace(set)
+	rep := &Report{
+		CellName:    set.CellName,
+		Duration:    set.Duration,
+		NodeEvents:  make(map[string][]EventRun),
+		ChainEvents: make(map[int][]ChainRun),
+		chains:      a.chains,
+	}
+
+	// Track open runs for nodes and chains.
+	openNode := make(map[string]*EventRun)
+	openChain := make(map[int]*ChainRun)
+
+	nodes := a.graph.Nodes()
+	end := set.Duration - a.cfg.Window
+	for start := sim.Time(0); start <= end; start += a.cfg.Step {
+		v := ix.evalWindow(a.cfg, start)
+		wr := WindowResult{Vector: v}
+
+		activeNodes := make(map[string]bool, len(nodes))
+		for _, n := range nodes {
+			if a.graph.NodeActive(n, v) {
+				activeNodes[n] = true
+			}
+		}
+
+		// Backward trace: for each active consequence, walk matched
+		// chains back to their causes.
+		causeSet := map[string]bool{}
+		for _, c := range a.chains {
+			matched := true
+			for _, n := range c.Nodes {
+				if !activeNodes[n] {
+					matched = false
+					break
+				}
+			}
+			if matched {
+				wr.ChainIDs = append(wr.ChainIDs, c.ID)
+				causeSet[c.Cause()] = true
+			}
+		}
+		for _, n := range a.graph.Consequences() {
+			if activeNodes[n] {
+				wr.Consequences = append(wr.Consequences, n)
+			}
+		}
+		for cause := range causeSet {
+			wr.Causes = append(wr.Causes, cause)
+		}
+		sortStrings(wr.Causes)
+		rep.Windows = append(rep.Windows, wr)
+
+		// Update node runs.
+		for _, n := range nodes {
+			if activeNodes[n] {
+				if r := openNode[n]; r != nil {
+					r.End = v.End
+					r.Windows++
+				} else {
+					openNode[n] = &EventRun{Node: n, Start: v.Start, End: v.End, Windows: 1}
+				}
+			} else if r := openNode[n]; r != nil {
+				rep.NodeEvents[n] = append(rep.NodeEvents[n], *r)
+				delete(openNode, n)
+			}
+		}
+		// Update chain runs.
+		matchedNow := make(map[int]bool, len(wr.ChainIDs))
+		for _, id := range wr.ChainIDs {
+			matchedNow[id] = true
+			if r := openChain[id]; r != nil {
+				r.End = v.End
+				r.Windows++
+			} else {
+				openChain[id] = &ChainRun{Chain: a.chains[id-1], Start: v.Start, End: v.End, Windows: 1}
+			}
+		}
+		for id, r := range openChain {
+			if !matchedNow[id] {
+				rep.ChainEvents[id] = append(rep.ChainEvents[id], *r)
+				delete(openChain, id)
+			}
+		}
+	}
+	// Close any runs still open at trace end.
+	for n, r := range openNode {
+		rep.NodeEvents[n] = append(rep.NodeEvents[n], *r)
+	}
+	for id, r := range openChain {
+		rep.ChainEvents[id] = append(rep.ChainEvents[id], *r)
+	}
+	return rep, nil
+}
+
+// EventCount returns the number of collapsed event runs for a node.
+func (r *Report) EventCount(node string) int { return len(r.NodeEvents[node]) }
+
+// EventsPerMinute returns the collapsed event rate for a node (Fig. 10).
+func (r *Report) EventsPerMinute(node string) float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(len(r.NodeEvents[node])) / r.Duration.Seconds() * 60
+}
+
+// TotalChainEvents returns the number of collapsed chain runs.
+func (r *Report) TotalChainEvents() int {
+	n := 0
+	for _, runs := range r.ChainEvents {
+		n += len(runs)
+	}
+	return n
+}
+
+// DegradationEventsPerMinute counts consequence events per minute — the
+// paper's headline "≈5 video quality degradation events per session per
+// minute" metric.
+func (r *Report) DegradationEventsPerMinute(consequences []string) float64 {
+	n := 0
+	for _, c := range consequences {
+		n += len(r.NodeEvents[c])
+	}
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(n) / r.Duration.Seconds() * 60
+}

@@ -1,0 +1,200 @@
+// Package core implements Domino, the paper's contribution: sliding a
+// window over merged cross-layer traces, evaluating the twenty event
+// conditions of Table 5 into a 36-dimensional feature vector, and
+// backward-tracing a user-configurable causal DAG from every detected
+// WebRTC consequence to its 5G root causes.
+package core
+
+import (
+	"sort"
+
+	"github.com/domino5g/domino/internal/netem"
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+// Canonical feature names. The vector has 36 dimensions: ten
+// application events × {local, remote}, two path-delay events, six 5G
+// events × {UL, DL}, plus UL-scheduling and RRC-state-change
+// (Appendix D).
+const (
+	// Application events (prefix with side).
+	FInboundFPSDown    = "inbound_framerate_down"
+	FOutboundFPSDown   = "outbound_framerate_down"
+	FOutboundResDown   = "outbound_resolution_down"
+	FJitterBufferDrain = "jitter_buffer_drain"
+	FTargetBitrateDown = "target_bitrate_down"
+	FGCCOveruse        = "gcc_overuse"
+	FPushbackRateDown  = "pushback_rate_down"
+	FCwndFull          = "cwnd_full"
+	FOutstandingUp     = "outstanding_bytes_up"
+	FPushbackNeqTarget = "pushback_neq_target"
+
+	// Path events.
+	FForwardDelayUp = "forward_delay_up"
+	FReverseDelayUp = "reverse_delay_up"
+
+	// 5G events (prefix with direction).
+	FTBSDown        = "tbs_down"
+	FRateExceedsTBS = "rate_exceeds_tbs"
+	FCrossTraffic   = "cross_traffic"
+	FChannelDegrade = "channel_degrades"
+	FHARQRetx       = "harq_retx"
+	FRLCRetx        = "rlc_retx"
+
+	// Singleton events.
+	FULScheduling = "ul_scheduling"
+	FRRCChange    = "rrc_state_change"
+)
+
+var appEvents = []string{
+	FInboundFPSDown, FOutboundFPSDown, FOutboundResDown, FJitterBufferDrain,
+	FTargetBitrateDown, FGCCOveruse, FPushbackRateDown, FCwndFull,
+	FOutstandingUp, FPushbackNeqTarget,
+}
+
+var cellEvents = []string{
+	FTBSDown, FRateExceedsTBS, FCrossTraffic, FChannelDegrade, FHARQRetx, FRLCRetx,
+}
+
+// FeatureNames returns the 36 canonical feature names in stable order.
+func FeatureNames() []string {
+	out := make([]string, 0, 36)
+	for _, side := range []string{"local_", "remote_"} {
+		for _, e := range appEvents {
+			out = append(out, side+e)
+		}
+	}
+	out = append(out, FForwardDelayUp, FReverseDelayUp)
+	for _, dir := range []string{"ul_", "dl_"} {
+		for _, e := range cellEvents {
+			out = append(out, dir+e)
+		}
+	}
+	out = append(out, FULScheduling, FRRCChange)
+	return out
+}
+
+// FeatureVector is the per-window detection result.
+type FeatureVector struct {
+	Start, End sim.Time
+	Active     map[string]bool
+}
+
+// Has reports whether the named feature fired in this window.
+func (v FeatureVector) Has(name string) bool { return v.Active[name] }
+
+// indexedTrace pre-sorts a trace.Set into binary-searchable series so
+// window evaluation is O(window) instead of O(trace).
+type indexedTrace struct {
+	set *trace.Set
+
+	// Media (forward) and RTCP (reverse) delay series, both directions
+	// merged, ordered by send time.
+	fwdAt    []sim.Time
+	fwdDelay []float64 // ms
+	revAt    []sim.Time
+	revDelay []float64
+
+	// Per-direction app send rate accounting: media bytes by send time.
+	appAt    [2][]sim.Time
+	appBytes [2][]int
+
+	// Per-direction DCI-derived series ordered by time.
+	dciAt    [2][]sim.Time
+	dciOwn   [2][]int // own-UE PRBs
+	dciOther [2][]int // other-UE PRBs
+	dciMCS   [2][]int
+	dciTBS   [2][]int  // bits
+	dciHARQ  [2][]bool // HARQ retx flag
+	dciULUse [2][]bool // own transmission
+
+	// RLC retx events (gNB log), per direction.
+	rlcAt [2][]sim.Time
+
+	// RNTI change times.
+	rrcAt []sim.Time
+
+	// Stats per side ordered by time.
+	statsAt [2][]sim.Time
+	stats   [2][]trace.WebRTCStatsRecord
+}
+
+func sideIdx(local bool) int {
+	if local {
+		return 0
+	}
+	return 1
+}
+
+func dirIdx(d netem.Direction) int {
+	if d == netem.Uplink {
+		return 0
+	}
+	return 1
+}
+
+// newIndexedTrace builds the index. The set must be sorted.
+func newIndexedTrace(set *trace.Set) *indexedTrace {
+	ix := &indexedTrace{set: set}
+	for _, p := range set.Packets {
+		di := dirIdx(p.Dir)
+		if p.Kind == netem.KindRTCP {
+			ix.revAt = append(ix.revAt, p.SentAt)
+			ix.revDelay = append(ix.revDelay, p.Delay().Milliseconds())
+			continue
+		}
+		if p.Kind == netem.KindCross {
+			continue
+		}
+		ix.fwdAt = append(ix.fwdAt, p.SentAt)
+		ix.fwdDelay = append(ix.fwdDelay, p.Delay().Milliseconds())
+		ix.appAt[di] = append(ix.appAt[di], p.SentAt)
+		ix.appBytes[di] = append(ix.appBytes[di], p.Size)
+	}
+	for _, r := range set.DCI {
+		di := dirIdx(r.Dir)
+		ix.dciAt[di] = append(ix.dciAt[di], r.At)
+		ix.dciOwn[di] = append(ix.dciOwn[di], r.OwnPRB)
+		ix.dciOther[di] = append(ix.dciOther[di], r.OtherPRB)
+		ix.dciMCS[di] = append(ix.dciMCS[di], r.MCS)
+		tbs := 0
+		if r.OwnPRB > 0 {
+			tbs = r.TBSBits
+		}
+		ix.dciTBS[di] = append(ix.dciTBS[di], tbs)
+		ix.dciHARQ[di] = append(ix.dciHARQ[di], r.HARQRetx)
+		ix.dciULUse[di] = append(ix.dciULUse[di], r.OwnPRB > 0)
+		// The DCI RLC-retx annotation is gNB-internal knowledge: only
+		// private cells with base-station logs expose it (the paper's
+		// commercial cells detect no RLC retx for exactly this reason).
+		if r.RLCRetx && set.HasGNBLog {
+			ix.rlcAt[di] = append(ix.rlcAt[di], r.At)
+		}
+	}
+	for _, g := range set.GNBLogs {
+		if g.Kind == trace.GNBLogRLCRetx {
+			di := dirIdx(g.Dir)
+			ix.rlcAt[di] = append(ix.rlcAt[di], g.At)
+		}
+	}
+	for i := range ix.rlcAt {
+		sort.Slice(ix.rlcAt[i], func(a, b int) bool { return ix.rlcAt[i][a] < ix.rlcAt[i][b] })
+	}
+	for _, r := range set.RRC {
+		ix.rrcAt = append(ix.rrcAt, r.At)
+	}
+	for _, s := range set.Stats {
+		si := sideIdx(s.Local)
+		ix.statsAt[si] = append(ix.statsAt[si], s.At)
+		ix.stats[si] = append(ix.stats[si], s)
+	}
+	return ix
+}
+
+// window returns [lo, hi) index bounds of at-values within [start, end).
+func window(at []sim.Time, start, end sim.Time) (int, int) {
+	lo := sort.Search(len(at), func(i int) bool { return at[i] >= start })
+	hi := sort.Search(len(at), func(i int) bool { return at[i] >= end })
+	return lo, hi
+}

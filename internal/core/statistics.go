@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+)
+
+// ConditionalProbabilities computes Table 2: for each consequence
+// class, the probability that a given cause was linked to it by a
+// matched chain. A consequence event (collapsed run) may be attributed
+// to several causes (columns can sum past 100%), or to none — the
+// "Unknown" column.
+func (r *Report) ConditionalProbabilities(causes, consequences []string) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(consequences))
+	for _, cons := range consequences {
+		row := make(map[string]float64, len(causes)+1)
+		events := r.NodeEvents[cons]
+		if len(events) == 0 {
+			for _, c := range causes {
+				row[c] = 0
+			}
+			row["unknown"] = 0
+			out[cons] = row
+			continue
+		}
+		counts := make(map[string]int, len(causes))
+		unknown := 0
+		for _, ev := range events {
+			attributed := r.causesDuring(cons, ev)
+			if len(attributed) == 0 {
+				unknown++
+				continue
+			}
+			for c := range attributed {
+				counts[c]++
+			}
+		}
+		for _, c := range causes {
+			row[c] = float64(counts[c]) / float64(len(events))
+		}
+		row["unknown"] = float64(unknown) / float64(len(events))
+		out[cons] = row
+	}
+	return out
+}
+
+// causesDuring returns the causes chained to the given consequence in
+// any chain run overlapping the event run.
+func (r *Report) causesDuring(consequence string, ev EventRun) map[string]bool {
+	out := map[string]bool{}
+	for id, runs := range r.ChainEvents {
+		chain := r.chains[id-1]
+		if chain.Consequence() != consequence {
+			continue
+		}
+		for _, cr := range runs {
+			if cr.Start < ev.End && cr.End > ev.Start {
+				out[chain.Cause()] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ChainRatios computes Table 4: each (cause, consequence) pair's share
+// of all collapsed chain events.
+func (r *Report) ChainRatios(causes, consequences []string) map[string]map[string]float64 {
+	total := r.TotalChainEvents()
+	out := make(map[string]map[string]float64, len(consequences))
+	counts := make(map[string]map[string]int, len(consequences))
+	for _, cons := range consequences {
+		counts[cons] = make(map[string]int, len(causes))
+	}
+	for id, runs := range r.ChainEvents {
+		chain := r.chains[id-1]
+		if m, ok := counts[chain.Consequence()]; ok {
+			m[chain.Cause()] += len(runs)
+		}
+	}
+	for _, cons := range consequences {
+		row := make(map[string]float64, len(causes))
+		for _, c := range causes {
+			if total > 0 {
+				row[c] = float64(counts[cons][c]) / float64(total)
+			}
+		}
+		out[cons] = row
+	}
+	return out
+}
+
+// FrequencyTable computes Fig. 10: collapsed events per minute for the
+// given nodes, in their given order.
+func (r *Report) FrequencyTable(nodes []string) []NodeFrequency {
+	out := make([]NodeFrequency, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, NodeFrequency{Node: n, PerMinute: r.EventsPerMinute(n)})
+	}
+	return out
+}
+
+// NodeFrequency is one Fig. 10 bar.
+type NodeFrequency struct {
+	Node      string
+	PerMinute float64
+}
+
+// TopChains returns the chains with the most collapsed events,
+// descending, up to n.
+func (r *Report) TopChains(n int) []ChainCount {
+	var out []ChainCount
+	for id, runs := range r.ChainEvents {
+		if len(runs) > 0 {
+			out = append(out, ChainCount{Chain: r.chains[id-1], Events: len(runs)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Events != out[j].Events {
+			return out[i].Events > out[j].Events
+		}
+		return out[i].Chain.ID < out[j].Chain.ID
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ChainCount pairs a chain with its collapsed event count.
+type ChainCount struct {
+	Chain  Chain
+	Events int
+}
+
+// MergeReports combines reports from multiple sessions (e.g. all
+// commercial-cell runs) into aggregate statistics by concatenating
+// event runs and durations. Chain sets must be identical.
+func MergeReports(reports []*Report) *Report {
+	if len(reports) == 0 {
+		return &Report{NodeEvents: map[string][]EventRun{}, ChainEvents: map[int][]ChainRun{}}
+	}
+	merged := &Report{
+		CellName:    "merged",
+		NodeEvents:  make(map[string][]EventRun),
+		ChainEvents: make(map[int][]ChainRun),
+		chains:      reports[0].chains,
+	}
+	for _, r := range reports {
+		merged.Duration += r.Duration
+		for n, runs := range r.NodeEvents {
+			merged.NodeEvents[n] = append(merged.NodeEvents[n], runs...)
+		}
+		for id, runs := range r.ChainEvents {
+			merged.ChainEvents[id] = append(merged.ChainEvents[id], runs...)
+		}
+	}
+	return merged
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/stats"
+)
+
+func init() {
+	register("fig10", fig10)
+	register("table2", table2)
+	register("table4", table4)
+	register("fig11", fig11)
+	register("headline", headline)
+}
+
+// analyzeGroup runs Domino over sessions on the given presets and
+// merges the reports.
+func analyzeGroup(presets []ran.CellConfig, o Options) (*core.Report, error) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	var reports []*core.Report
+	for i, cfg := range presets {
+		for s := 0; s < o.Sessions; s++ {
+			_, set, err := runCellSession(cfg, o.Duration, o.Seed+uint64(i*97+s*31))
+			if err != nil {
+				return nil, err
+			}
+			rep, err := analyzer.Analyze(set)
+			if err != nil {
+				return nil, err
+			}
+			reports = append(reports, rep)
+		}
+	}
+	return core.MergeReports(reports), nil
+}
+
+func commercialPresets() []ran.CellConfig {
+	return []ran.CellConfig{ran.TMobileTDD(), ran.TMobileFDD()}
+}
+
+func privatePresets() []ran.CellConfig {
+	return []ran.CellConfig{ran.Amarisoft(), ran.Mosolabs()}
+}
+
+// fig10 regenerates Fig. 10: absolute occurrence frequency per minute
+// of 5G causes and WebRTC consequences, commercial vs private.
+func fig10(o Options) (Result, error) {
+	com, err := analyzeGroup(commercialPresets(), o)
+	if err != nil {
+		return Result{}, err
+	}
+	priv, err := analyzeGroup(privatePresets(), o)
+	if err != nil {
+		return Result{}, err
+	}
+	var b strings.Builder
+	tb := stats.NewTable("Node", "Commercial (/min)", "Private (/min)")
+	b.WriteString("Causes in 5G:\n")
+	for _, n := range core.CauseClasses() {
+		tb.AddRow(n, com.EventsPerMinute(n), priv.EventsPerMinute(n))
+	}
+	b.WriteString(tb.String())
+	tb2 := stats.NewTable("Node", "Commercial (/min)", "Private (/min)")
+	b.WriteString("\nConsequences in APP:\n")
+	for _, n := range core.ConsequenceClasses() {
+		tb2.AddRow(n, com.EventsPerMinute(n), priv.EventsPerMinute(n))
+	}
+	b.WriteString(tb2.String())
+	return Result{
+		ID:    "fig10",
+		Title: "Fig. 10 — cause and consequence occurrence frequency per minute",
+		PaperRef: "paper commercial: cross 2.23, HARQ 3.28, UL-sched 1.39, poor-ch 0.97, RRC 0.10, RLC 0; " +
+			"private: poor-ch 5.83, UL-sched 5.83, HARQ 4.24, RLC 0.07; consequences: JB-drain rarest, " +
+			"target/pushback drops 1.3-3.1/min",
+		Text: b.String(),
+	}, nil
+}
+
+// table2 regenerates Table 2: conditional probability of causes given
+// consequences.
+func table2(o Options) (Result, error) {
+	var b strings.Builder
+	for _, group := range []struct {
+		name    string
+		presets []ran.CellConfig
+	}{
+		{"Commercial 5G", commercialPresets()},
+		{"Private 5G", privatePresets()},
+	} {
+		rep, err := analyzeGroup(group.presets, o)
+		if err != nil {
+			return Result{}, err
+		}
+		probs := rep.ConditionalProbabilities(core.CauseClasses(), core.ConsequenceClasses())
+		fmt.Fprintf(&b, "== %s ==\n", group.name)
+		header := append([]string{"Consequence"}, core.CauseClasses()...)
+		header = append(header, "unknown")
+		cells := make([]any, len(header))
+		tb := stats.NewTable(header...)
+		for _, cons := range core.ConsequenceClasses() {
+			cells[0] = cons
+			for i, cause := range core.CauseClasses() {
+				cells[i+1] = fmt.Sprintf("%.1f%%", probs[cons][cause]*100)
+			}
+			cells[len(cells)-1] = fmt.Sprintf("%.1f%%", probs[cons]["unknown"]*100)
+			tb.AddRow(cells...)
+		}
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+	}
+	return Result{
+		ID:    "table2",
+		Title: "Table 2 — P(cause | consequence), commercial vs private cells",
+		PaperRef: "paper: UL scheduling and HARQ prevalent in both groups; RLC retx only detectable on " +
+			"private (gNB-log) cells; RRC transitions only on the T-Mobile FDD cell",
+		Text: b.String(),
+	}, nil
+}
+
+// table4 regenerates Table 4: per-chain share of all detected chains.
+func table4(o Options) (Result, error) {
+	var b strings.Builder
+	for _, group := range []struct {
+		name    string
+		presets []ran.CellConfig
+	}{
+		{"Commercial 5G", commercialPresets()},
+		{"Private 5G", privatePresets()},
+	} {
+		rep, err := analyzeGroup(group.presets, o)
+		if err != nil {
+			return Result{}, err
+		}
+		ratios := rep.ChainRatios(core.CauseClasses(), core.ConsequenceClasses())
+		fmt.Fprintf(&b, "== %s (total chain events: %d) ==\n", group.name, rep.TotalChainEvents())
+		header := append([]string{"Consequence"}, core.CauseClasses()...)
+		tb := stats.NewTable(header...)
+		cells := make([]any, len(header))
+		for _, cons := range core.ConsequenceClasses() {
+			cells[0] = cons
+			for i, cause := range core.CauseClasses() {
+				cells[i+1] = fmt.Sprintf("%.1f%%", ratios[cons][cause]*100)
+			}
+			tb.AddRow(cells...)
+		}
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+	}
+	return Result{
+		ID:       "table4",
+		Title:    "Table 4 — each causal chain's share of all detected chains",
+		PaperRef: "paper: pushback chains dominate (HARQ 67%, poor channel 56% commercial); JB-drain chains are rare",
+		Text:     b.String(),
+	}, nil
+}
+
+// fig11 regenerates Fig. 11: DSL text to generated detection code.
+func fig11(Options) (Result, error) {
+	text := `dl_rlc_retx --> forward_delay_up --> local_jitter_buffer_drain
+dl_harq_retx --> forward_delay_up --> local_jitter_buffer_drain
+`
+	g, err := core.ParseChainsString(text)
+	if err != nil {
+		return Result{}, err
+	}
+	var b strings.Builder
+	b.WriteString("Input DSL:\n")
+	b.WriteString(text)
+	b.WriteString("\nGenerated Go detector:\n")
+	b.WriteString(core.GenerateGo(g, "detect"))
+	return Result{
+		ID:       "fig11",
+		Title:    "Fig. 11 — Domino generates detection code from text chain definitions",
+		PaperRef: "paper: generates Python; this reproduction generates Go with identical backward-trace semantics",
+		Text:     b.String(),
+	}, nil
+}
+
+// headline regenerates the §4.2 headline numbers: degradation events
+// per session-minute and dominant causes.
+func headline(o Options) (Result, error) {
+	com, err := analyzeGroup(commercialPresets(), o)
+	if err != nil {
+		return Result{}, err
+	}
+	priv, err := analyzeGroup(privatePresets(), o)
+	if err != nil {
+		return Result{}, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "degradation events per session-minute: commercial %.2f, private %.2f\n",
+		com.DegradationEventsPerMinute(core.ConsequenceClasses()),
+		priv.DegradationEventsPerMinute(core.ConsequenceClasses()))
+	b.WriteString("\ntop chains (commercial):\n")
+	for _, cc := range com.TopChains(5) {
+		fmt.Fprintf(&b, "  %3d×  %s\n", cc.Events, cc.Chain.String())
+	}
+	b.WriteString("\ntop chains (private):\n")
+	for _, cc := range priv.TopChains(5) {
+		fmt.Fprintf(&b, "  %3d×  %s\n", cc.Events, cc.Chain.String())
+	}
+	return Result{
+		ID:       "headline",
+		Title:    "§4.2 headline — ~5 quality degradation events per session-minute",
+		PaperRef: "paper: ≈5 events/min; commercial dominated by retx (42%) and cross traffic (28%), private by UL scheduling (36%) and poor channel (37%)",
+		Text:     b.String(),
+	}, nil
+}

@@ -1,0 +1,101 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation from the simulator substrate: the motivation
+// experiments (Figs. 2–6, Table 1), the longitudinal per-cell study
+// (Fig. 8, Table 3), the Domino analysis statistics (Fig. 10,
+// Tables 2 and 4), the extensibility demo (Fig. 11), and the
+// mechanism case studies (Figs. 12–22).
+//
+// Runners return formatted text artifacts; cmd/experiments prints them
+// and EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// Options tune experiment scale. Defaults keep a full regeneration
+// under a couple of minutes; the paper's durations can be approximated
+// by raising Duration.
+type Options struct {
+	// Duration is the per-session call length (default 60 s; the
+	// paper's calls are 30 min).
+	Duration sim.Time
+	// Seed anchors all randomness.
+	Seed uint64
+	// Sessions is the number of calls per cell for aggregate
+	// statistics (default 1; the paper used 14 across 4 cells).
+	Sessions int
+}
+
+// Defaults fills zero fields.
+func (o Options) Defaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = 60 * sim.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 1
+	}
+	return o
+}
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID    string
+	Title string
+	// PaperRef summarizes what the paper reports, for side-by-side
+	// comparison in EXPERIMENTS.md.
+	PaperRef string
+	// Text is the regenerated table/series.
+	Text string
+}
+
+// Runner regenerates one artifact.
+type Runner func(Options) (Result, error)
+
+var registry = map[string]Runner{}
+var registryOrder []string
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate runner " + id)
+	}
+	registry[id] = r
+	registryOrder = append(registryOrder, id)
+}
+
+// IDs returns all experiment IDs in registration order.
+func IDs() []string { return append([]string(nil), registryOrder...) }
+
+// Run executes one experiment by ID.
+func Run(id string, opts Options) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		var known []string
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return Result{}, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+	}
+	return r(opts.Defaults())
+}
+
+// RunAll executes every experiment in order.
+func RunAll(opts Options) ([]Result, error) {
+	var out []Result
+	for _, id := range registryOrder {
+		res, err := Run(id, opts)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,527 @@
+package gcc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+func TestInterArrivalGrouping(t *testing.T) {
+	ia := NewInterArrival()
+	// Two packets inside one burst window: no sample.
+	if _, ok := ia.OnPacket(0, 20*sim.Millisecond); ok {
+		t.Fatal("first packet produced a sample")
+	}
+	if _, ok := ia.OnPacket(2*sim.Millisecond, 22*sim.Millisecond); ok {
+		t.Fatal("same-burst packet produced a sample")
+	}
+	// New group: still no sample (needs two complete groups).
+	if _, ok := ia.OnPacket(10*sim.Millisecond, 30*sim.Millisecond); ok {
+		t.Fatal("second group start should not yet produce a sample")
+	}
+	// Third group completes the pair (group1, group2).
+	s, ok := ia.OnPacket(20*sim.Millisecond, 45*sim.Millisecond)
+	if !ok {
+		t.Fatal("no sample after three groups")
+	}
+	// Group1 last send 2ms recv 22ms; group2 last send 10ms recv 30ms:
+	// sendDelta 8ms, recvDelta 8ms → 0 variation.
+	if s.DeltaMs != 0 {
+		t.Fatalf("delta = %v, want 0", s.DeltaMs)
+	}
+}
+
+func TestInterArrivalQueueingPositive(t *testing.T) {
+	ia := NewInterArrival()
+	ia.OnPacket(0, 20*sim.Millisecond)
+	ia.OnPacket(10*sim.Millisecond, 35*sim.Millisecond) // +5ms queueing
+	s, ok := ia.OnPacket(20*sim.Millisecond, 50*sim.Millisecond)
+	if !ok {
+		t.Fatal("no sample")
+	}
+	if s.DeltaMs != 5 {
+		t.Fatalf("delta = %v, want 5", s.DeltaMs)
+	}
+}
+
+// feedDelays pushes a synthetic delay pattern through a trendline:
+// delayFn maps sample index to one-way delay (ms). Samples are 10 ms
+// apart in both send and arrival base time.
+func feedDelays(tl *Trendline, n int, delayFn func(i int) float64) trace.GCCState {
+	st := trace.GCCNormal
+	prev := delayFn(0)
+	for i := 1; i < n; i++ {
+		d := delayFn(i)
+		st = tl.Update(DelaySample{
+			At:        sim.Time(i) * 10 * sim.Millisecond,
+			DeltaMs:   d - prev,
+			SendDelta: 10 * sim.Millisecond,
+		})
+		prev = d
+	}
+	return st
+}
+
+func TestTrendlineStableDelayIsNormal(t *testing.T) {
+	tl := NewTrendline(DefaultTrendlineConfig())
+	st := feedDelays(tl, 100, func(i int) float64 { return 30 })
+	if st != trace.GCCNormal {
+		t.Fatalf("state = %v for flat delay", st)
+	}
+	if math.Abs(tl.Slope()) > 0.01 {
+		t.Fatalf("slope = %v for flat delay", tl.Slope())
+	}
+}
+
+func TestTrendlineRampTriggersOveruse(t *testing.T) {
+	tl := NewTrendline(DefaultTrendlineConfig())
+	// Steeply growing delay: +8 ms per sample.
+	st := feedDelays(tl, 60, func(i int) float64 { return 30 + 8*float64(i) })
+	if st != trace.GCCOveruse {
+		t.Fatalf("state = %v for ramping delay, want overuse", st)
+	}
+	if tl.Slope() <= 0 {
+		t.Fatalf("slope = %v, want positive", tl.Slope())
+	}
+}
+
+func TestTrendlineFallingDelayIsUnderuse(t *testing.T) {
+	tl := NewTrendline(DefaultTrendlineConfig())
+	// Ramp up then sharply down.
+	feedDelays(tl, 50, func(i int) float64 { return 30 + 8*float64(i) })
+	prev := 30 + 8*49.0
+	st := trace.GCCNormal
+	for i := 0; i < 40; i++ {
+		d := prev - 12
+		st = tl.Update(DelaySample{
+			At:      sim.Time(50+i) * 10 * sim.Millisecond,
+			DeltaMs: d - prev,
+		})
+		prev = d
+	}
+	if st != trace.GCCUnderuse {
+		t.Fatalf("state = %v for falling delay, want underuse", st)
+	}
+}
+
+func TestTrendlineThresholdAdapts(t *testing.T) {
+	tl := NewTrendline(DefaultTrendlineConfig())
+	before := tl.Threshold()
+	// Moderate sustained trend just above threshold drags it up.
+	feedDelays(tl, 200, func(i int) float64 { return 30 + 3*float64(i) })
+	if tl.Threshold() <= before {
+		t.Fatalf("threshold did not adapt upward: %v -> %v", before, tl.Threshold())
+	}
+	if tl.Threshold() > 600 {
+		t.Fatal("threshold exceeded clamp")
+	}
+}
+
+func TestAIMDOveruseDecreases(t *testing.T) {
+	a := NewAIMD(DefaultAIMDConfig(), 2_000_000, 0)
+	r := a.Update(100*sim.Millisecond, trace.GCCOveruse, 1_800_000, 50)
+	if r >= 2_000_000 {
+		t.Fatalf("rate %v did not decrease on overuse", r)
+	}
+	// Beta × acked bitrate.
+	if math.Abs(r-0.85*1_800_000) > 1 {
+		t.Fatalf("rate = %v, want beta*acked = %v", r, 0.85*1_800_000)
+	}
+}
+
+func TestAIMDNormalIncreases(t *testing.T) {
+	cfg := DefaultAIMDConfig()
+	cfg.FastRecovery = false
+	a := NewAIMD(cfg, 1_000_000, 0)
+	r0 := a.Rate()
+	var r float64
+	for i := 1; i <= 10; i++ {
+		r = a.Update(sim.Time(i)*100*sim.Millisecond, trace.GCCNormal, 2_000_000, 50)
+	}
+	if r <= r0 {
+		t.Fatalf("rate did not grow under normal state: %v -> %v", r0, r)
+	}
+}
+
+func TestAIMDSlowAdditiveRecovery(t *testing.T) {
+	cfg := DefaultAIMDConfig()
+	cfg.FastRecovery = false
+	a := NewAIMD(cfg, 3_000_000, 0)
+	// Crash the rate with an overuse anchored at low acked bitrate.
+	a.Update(100*sim.Millisecond, trace.GCCOveruse, 1_000_000, 50)
+	dropped := a.Rate()
+	// Recovery with acked ≈ current rate (near capacity estimate):
+	// additive phase, slow.
+	now := 100 * sim.Millisecond
+	steps := 0
+	for a.Rate() < 3_000_000*0.95 && steps < 3000 {
+		now += 100 * sim.Millisecond
+		a.Update(now, trace.GCCNormal, a.Rate(), 50)
+		steps++
+	}
+	recovery := (now - 100*sim.Millisecond).Seconds()
+	if recovery < 5 {
+		t.Fatalf("recovery from %v took only %vs; paper reports >30s additive phases", dropped, recovery)
+	}
+}
+
+func TestAIMDFastRecovery(t *testing.T) {
+	cfg := DefaultAIMDConfig()
+	a := NewAIMD(cfg, 3_000_000, 0)
+	a.Update(100*sim.Millisecond, trace.GCCOveruse, 1_000_000, 50)
+	if a.Rate() >= 3_000_000 {
+		t.Fatal("no decrease")
+	}
+	// Throughput measured right back at the pre-drop level: the
+	// acknowledged-bitrate shortcut should restore the rate quickly.
+	a.Update(300*sim.Millisecond, trace.GCCNormal, 3_000_000, 50)
+	if a.Rate() < 2_900_000 {
+		t.Fatalf("fast recovery did not fire: rate %v", a.Rate())
+	}
+}
+
+func TestAIMDBounds(t *testing.T) {
+	cfg := DefaultAIMDConfig()
+	a := NewAIMD(cfg, 500_000, 0)
+	for i := 1; i < 100; i++ {
+		a.Update(sim.Time(i)*100*sim.Millisecond, trace.GCCOveruse, 1000, 50)
+	}
+	if a.Rate() < cfg.MinRateBps {
+		t.Fatalf("rate %v below floor", a.Rate())
+	}
+	b := NewAIMD(cfg, 14_000_000, 0)
+	for i := 1; i < 2000; i++ {
+		b.Update(sim.Time(i)*100*sim.Millisecond, trace.GCCNormal, 30_000_000, 50)
+	}
+	if b.Rate() > cfg.MaxRateBps {
+		t.Fatalf("rate %v above ceiling", b.Rate())
+	}
+}
+
+func TestAckedBitrate(t *testing.T) {
+	ab := NewAckedBitrate(500 * sim.Millisecond)
+	if ab.Rate(0) != 0 {
+		t.Fatal("empty estimator should report 0")
+	}
+	// 100 packets × 1250 B over 500 ms = 2 Mbit/s.
+	for i := 0; i < 100; i++ {
+		ab.OnAcked(sim.Time(i)*5*sim.Millisecond, 1250)
+	}
+	r := ab.Rate(500 * sim.Millisecond)
+	if r < 1.5e6 || r > 2.5e6 {
+		t.Fatalf("rate = %v, want ~2e6", r)
+	}
+	// Old samples age out.
+	r2 := ab.Rate(10 * sim.Second)
+	if r2 != 0 {
+		t.Fatalf("stale rate = %v, want 0", r2)
+	}
+}
+
+func TestLossEstimator(t *testing.T) {
+	l := NewLossEstimator(1e6)
+	r1 := l.Update(0.3, 1e6)
+	if r1 >= 1e6 {
+		t.Fatalf("30%% loss did not cut rate: %v", r1)
+	}
+	// Sustained loss compounds.
+	r2 := l.Update(0.3, 1e6)
+	if r2 >= r1 {
+		t.Fatalf("sustained loss did not compound: %v -> %v", r1, r2)
+	}
+	// Loss-free intervals grow the bound back.
+	r3 := l.Update(0.0, 1e6)
+	if r3 <= r2 {
+		t.Fatalf("0%% loss did not grow the bound: %v -> %v", r2, r3)
+	}
+	// Moderate loss holds.
+	if r4 := l.Update(0.05, 1e6); r4 != r3 {
+		t.Fatalf("5%% loss should hold: %v != %v", r4, r3)
+	}
+	// The bound never exceeds the delay-based rate.
+	for i := 0; i < 100; i++ {
+		l.Update(0, 1e6)
+	}
+	if l.Rate() > 1e6 {
+		t.Fatalf("bound exceeded delay-based rate: %v", l.Rate())
+	}
+}
+
+func TestPushbackOutstandingTracking(t *testing.T) {
+	p := NewPushback(DefaultPushbackConfig())
+	p.OnPacketSent(1, 1000)
+	p.OnPacketSent(2, 2000)
+	p.OnPacketSent(2, 2000) // duplicate ignored
+	if p.OutstandingBytes() != 3000 {
+		t.Fatalf("outstanding = %d", p.OutstandingBytes())
+	}
+	p.OnAcked(1)
+	p.OnAcked(1) // double-ack ignored
+	if p.OutstandingBytes() != 2000 {
+		t.Fatalf("outstanding after ack = %d", p.OutstandingBytes())
+	}
+}
+
+func TestPushbackReducesWhenWindowFull(t *testing.T) {
+	p := NewPushback(DefaultPushbackConfig())
+	target := 2_000_000.0
+	rtt := 50.0
+	r := p.Update(0, target, rtt)
+	if r != target {
+		t.Fatalf("empty window should not push back: %v", r)
+	}
+	// Stuff far more than a window's worth of outstanding bytes.
+	for i := uint64(0); i < 100; i++ {
+		p.OnPacketSent(i, 1500)
+	}
+	r = p.Update(0, target, rtt)
+	if r >= target {
+		t.Fatalf("full window did not push back: %v", r)
+	}
+	if p.OutstandingBytes() <= p.WindowBytes() {
+		t.Fatal("test should have exceeded the window")
+	}
+	// Draining restores the rate.
+	for i := uint64(0); i < 100; i++ {
+		p.OnAcked(i)
+	}
+	r = p.Update(0, target, rtt)
+	if r != target {
+		t.Fatalf("rate did not recover after drain: %v", r)
+	}
+}
+
+func TestPushbackFloor(t *testing.T) {
+	cfg := DefaultPushbackConfig()
+	p := NewPushback(cfg)
+	for i := uint64(0); i < 10000; i++ {
+		p.OnPacketSent(i, 1500)
+	}
+	r := p.Update(0, 2_000_000, 50)
+	if r < cfg.MinPushbackRateBps {
+		t.Fatalf("pushback rate %v below floor", r)
+	}
+}
+
+// runFeedback drives a controller with a synthetic network: constant
+// one-way delay plus optional per-era delay offsets.
+func runFeedback(c *Controller, eras []struct {
+	duration sim.Time
+	delayMs  float64
+}) sim.Time {
+	seq := uint64(0)
+	now := sim.Time(0)
+	for _, era := range eras {
+		end := now + era.duration
+		for now < end {
+			// 20 packets per 100 ms ≈ 2 Mbit/s of 1250 B packets.
+			var results []PacketResult
+			for i := 0; i < 20; i++ {
+				seq++
+				sent := now + sim.Time(i)*5*sim.Millisecond
+				c.OnPacketSent(seq, 1250)
+				results = append(results, PacketResult{
+					Seq: seq, Size: 1250, SentAt: sent,
+					RecvAt: sent + sim.FromMilliseconds(era.delayMs),
+				})
+			}
+			now += 100 * sim.Millisecond
+			c.OnFeedback(now, results)
+		}
+	}
+	return now
+}
+
+func TestControllerStableNetworkGrowsRate(t *testing.T) {
+	c := NewController(DefaultConfig(500_000), 0)
+	runFeedback(c, []struct {
+		duration sim.Time
+		delayMs  float64
+	}{{10 * sim.Second, 30}})
+	if c.TargetRate() <= 500_000 {
+		t.Fatalf("target did not grow on a clean network: %v", c.TargetRate())
+	}
+	if c.State() == trace.GCCOveruse {
+		t.Fatal("clean network classified as overuse")
+	}
+}
+
+func TestControllerDelayRampCutsRate(t *testing.T) {
+	c := NewController(DefaultConfig(2_000_000), 0)
+	// Stable, then a steep delay ramp (grows 15 ms per 100 ms block).
+	seq := uint64(0)
+	now := sim.Time(0)
+	for ; now < 5*sim.Second; now += 100 * sim.Millisecond {
+		var results []PacketResult
+		for i := 0; i < 20; i++ {
+			seq++
+			sent := now + sim.Time(i)*5*sim.Millisecond
+			c.OnPacketSent(seq, 1250)
+			results = append(results, PacketResult{Seq: seq, Size: 1250, SentAt: sent, RecvAt: sent + 30*sim.Millisecond})
+		}
+		c.OnFeedback(now+100*sim.Millisecond, results)
+	}
+	before := c.TargetRate()
+	ramp := 0.0
+	for ; now < 8*sim.Second; now += 100 * sim.Millisecond {
+		ramp += 15
+		var results []PacketResult
+		for i := 0; i < 20; i++ {
+			seq++
+			sent := now + sim.Time(i)*5*sim.Millisecond
+			c.OnPacketSent(seq, 1250)
+			results = append(results, PacketResult{Seq: seq, Size: 1250, SentAt: sent,
+				RecvAt: sent + sim.FromMilliseconds(30+ramp)})
+		}
+		c.OnFeedback(now+100*sim.Millisecond, results)
+	}
+	if c.TargetRate() >= before {
+		t.Fatalf("target did not drop under delay ramp: %v -> %v", before, c.TargetRate())
+	}
+	snap := c.Snapshot(now)
+	if snap.OveruseEvents == 0 {
+		t.Fatal("no overuse events recorded")
+	}
+}
+
+func TestControllerLossCutsRate(t *testing.T) {
+	c := NewController(DefaultConfig(2_000_000), 0)
+	seq := uint64(0)
+	now := sim.Time(0)
+	for ; now < 5*sim.Second; now += 100 * sim.Millisecond {
+		var results []PacketResult
+		for i := 0; i < 20; i++ {
+			seq++
+			sent := now + sim.Time(i)*5*sim.Millisecond
+			c.OnPacketSent(seq, 1250)
+			r := PacketResult{Seq: seq, Size: 1250, SentAt: sent, RecvAt: sent + 30*sim.Millisecond}
+			if i%4 == 0 { // 25% loss
+				r.Lost = true
+			}
+			results = append(results, r)
+		}
+		c.OnFeedback(now+100*sim.Millisecond, results)
+	}
+	if c.TargetRate() > 1_500_000 {
+		t.Fatalf("25%% loss did not constrain rate: %v", c.TargetRate())
+	}
+}
+
+func TestControllerFeedbackStallTriggersPushback(t *testing.T) {
+	c := NewController(DefaultConfig(2_000_000), 0)
+	// Prime with clean traffic.
+	runFeedback(c, []struct {
+		duration sim.Time
+		delayMs  float64
+	}{{3 * sim.Second, 30}})
+	target := c.TargetRate()
+	// Now send without any feedback (RTCP path stalled): outstanding
+	// bytes pile up and Tick pushes the send rate down while the
+	// target stays put — the Fig. 22 signature.
+	seq := uint64(1 << 20)
+	for i := 0; i < 200; i++ {
+		seq++
+		c.OnPacketSent(seq, 1250)
+	}
+	c.Tick(4 * sim.Second)
+	if c.PushbackRate() >= target {
+		t.Fatalf("pushback rate %v did not drop below target %v during feedback stall", c.PushbackRate(), target)
+	}
+	if c.TargetRate() != target {
+		t.Fatalf("target rate should be unchanged by the stall: %v -> %v", target, c.TargetRate())
+	}
+	snap := c.Snapshot(4 * sim.Second)
+	if snap.OutstandingBytes <= snap.CongestionWindow {
+		t.Fatal("outstanding bytes should exceed the window")
+	}
+}
+
+// Property: the controller's rates always stay within configured bounds
+// and pushback never exceeds target.
+func TestControllerBoundsProperty(t *testing.T) {
+	f := func(seed uint64, blocks uint8) bool {
+		rng := sim.NewRNG(seed)
+		c := NewController(DefaultConfig(1_000_000), 0)
+		seq := uint64(0)
+		now := sim.Time(0)
+		for b := 0; b < int(blocks)%30+5; b++ {
+			delay := rng.Uniform(10, 300)
+			loss := rng.Float64() * 0.3
+			var results []PacketResult
+			for i := 0; i < 20; i++ {
+				seq++
+				sent := now + sim.Time(i)*5*sim.Millisecond
+				c.OnPacketSent(seq, 1250)
+				r := PacketResult{Seq: seq, Size: 1250, SentAt: sent, RecvAt: sent + sim.FromMilliseconds(delay)}
+				if rng.Bool(loss) {
+					r.Lost = true
+				}
+				results = append(results, r)
+			}
+			now += 100 * sim.Millisecond
+			c.OnFeedback(now, results)
+			cfg := DefaultAIMDConfig()
+			if c.TargetRate() < cfg.MinRateBps-1 || c.TargetRate() > cfg.MaxRateBps+1 {
+				return false
+			}
+			if c.PushbackRate() > c.TargetRate()+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrendlineThresholdAdaptsUnderSustainedOutliers(t *testing.T) {
+	// Cellular-grade delay spread produces modified trends far above
+	// threshold+15 for long stretches. libwebrtc skips those samples
+	// entirely, freezing the threshold; our clamp-adaptation
+	// (documented deviation) must keep ratcheting the threshold upward
+	// so the detector does not stay pinned at Overuse forever.
+	tl := NewTrendline(DefaultTrendlineConfig())
+	before := tl.Threshold()
+	for i := 1; i < 400; i++ {
+		// Relentless +8 ms/sample ramp: modified trend ≫ threshold+15.
+		tl.Update(DelaySample{
+			At:      sim.Time(i) * 33 * sim.Millisecond,
+			DeltaMs: 8,
+		})
+	}
+	// The threshold must have chased the (initially far-outlying)
+	// modified trend all the way up — under libwebrtc's skip rule it
+	// would still be at its initial 12.5.
+	if tl.Threshold() < before*2 {
+		t.Fatalf("threshold frozen under sustained outliers: %v -> %v", before, tl.Threshold())
+	}
+}
+
+func TestControllerSurvivesHeavyJitterAboveFloor(t *testing.T) {
+	// With threshold adaptation, zero-mean jitter must not pin the
+	// target rate at the minimum.
+	c := NewController(DefaultConfig(2_000_000), 0)
+	rng := sim.NewRNG(23)
+	seq := uint64(0)
+	now := sim.Time(0)
+	for ; now < 60*sim.Second; now += 100 * sim.Millisecond {
+		var results []PacketResult
+		for i := 0; i < 20; i++ {
+			seq++
+			sent := now + sim.Time(i)*5*sim.Millisecond
+			c.OnPacketSent(seq, 1250)
+			d := 20 + rng.Exponential(10)
+			results = append(results, PacketResult{Seq: seq, Size: 1250, SentAt: sent,
+				RecvAt: sent + sim.FromMilliseconds(d)})
+		}
+		c.OnFeedback(now+100*sim.Millisecond, results)
+	}
+	min := DefaultAIMDConfig().MinRateBps
+	if c.TargetRate() <= min*1.5 {
+		t.Fatalf("heavy jitter pinned rate near floor: %v", c.TargetRate())
+	}
+}

@@ -1,0 +1,102 @@
+// Package gcc implements the Google Congestion Control sender-side
+// pipeline as used by WebRTC and instrumented by the paper: packet
+// grouping and inter-arrival delay-variation measurement, the trendline
+// estimator with adaptive threshold, the overuse detector, the AIMD
+// target-rate controller with acknowledged-bitrate fast recovery, a
+// loss-based bound, and the congestion-window pushback controller that
+// produces the final media send rate.
+//
+// The split between "target rate" (delay/loss estimator output, §6.2)
+// and "pushback rate" (congestion-window constrained output, §6.3)
+// follows the paper's terminology; both are exported at 50 ms to the
+// stats stream that Domino analyzes.
+package gcc
+
+import (
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// PacketResult is one entry of a transport-wide feedback report: a sent
+// packet and its receive timestamp (Lost marks missing packets).
+type PacketResult struct {
+	Seq    uint64
+	Size   int
+	SentAt sim.Time
+	RecvAt sim.Time
+	Lost   bool
+}
+
+// burstInterval is the send-time window that groups packets into one
+// "packet group" for delay-variation purposes (WebRTC uses 5 ms).
+const burstInterval = 5 * sim.Millisecond
+
+// packetGroup aggregates packets sent within one burst interval.
+type packetGroup struct {
+	firstSend sim.Time
+	lastSend  sim.Time
+	lastRecv  sim.Time
+	size      int
+	complete  bool
+}
+
+// InterArrival converts a stream of per-packet feedback into per-group
+// delay-variation samples: d(i) = (recv_i − recv_{i−1}) − (send_i −
+// send_{i−1}). Positive d means the network is queueing.
+type InterArrival struct {
+	current *packetGroup
+	prev    *packetGroup
+}
+
+// NewInterArrival returns an empty filter.
+func NewInterArrival() *InterArrival { return &InterArrival{} }
+
+// DelaySample is one delay-variation observation.
+type DelaySample struct {
+	// At is the arrival time of the group that produced the sample.
+	At sim.Time
+	// DeltaMs is the delay variation in milliseconds.
+	DeltaMs float64
+	// SendDelta is the send-time gap between the groups.
+	SendDelta sim.Time
+}
+
+// OnPacket feeds one received packet (in feedback order) and returns a
+// delay-variation sample when a group completes.
+func (ia *InterArrival) OnPacket(sentAt, recvAt sim.Time) (DelaySample, bool) {
+	if ia.current == nil {
+		ia.current = &packetGroup{firstSend: sentAt, lastSend: sentAt, lastRecv: recvAt}
+		return DelaySample{}, false
+	}
+	if sentAt-ia.current.firstSend <= burstInterval {
+		// Same group: extend.
+		if sentAt > ia.current.lastSend {
+			ia.current.lastSend = sentAt
+		}
+		if recvAt > ia.current.lastRecv {
+			ia.current.lastRecv = recvAt
+		}
+		return DelaySample{}, false
+	}
+	// New group begins: the previous pair (prev, current) yields a sample.
+	var out DelaySample
+	ok := false
+	if ia.prev != nil {
+		sendDelta := ia.current.lastSend - ia.prev.lastSend
+		recvDelta := ia.current.lastRecv - ia.prev.lastRecv
+		out = DelaySample{
+			At:        ia.current.lastRecv,
+			DeltaMs:   (recvDelta - sendDelta).Milliseconds(),
+			SendDelta: sendDelta,
+		}
+		ok = true
+	}
+	ia.prev = ia.current
+	ia.current = &packetGroup{firstSend: sentAt, lastSend: sentAt, lastRecv: recvAt}
+	return out, ok
+}
+
+// Reset clears group state (used after long feedback gaps).
+func (ia *InterArrival) Reset() {
+	ia.current = nil
+	ia.prev = nil
+}

@@ -1,0 +1,108 @@
+package gcc
+
+import (
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// PushbackConfig parameterizes the congestion-window pushback
+// controller (§6.3, Appendix E).
+type PushbackConfig struct {
+	// WindowRTTMultiple sizes the congestion window as this multiple of
+	// the RTT's worth of target-rate bytes, plus the additive term.
+	WindowRTTMultiple float64
+	// ExtraWindowBytes is the additive window slack.
+	ExtraWindowBytes int
+	// MinWindowBytes floors the window.
+	MinWindowBytes int
+	// MinPushbackRateBps floors the pushback rate.
+	MinPushbackRateBps float64
+}
+
+// DefaultPushbackConfig returns libwebrtc-like parameters.
+func DefaultPushbackConfig() PushbackConfig {
+	return PushbackConfig{
+		WindowRTTMultiple:  1.5,
+		ExtraWindowBytes:   6000,
+		MinWindowBytes:     12000,
+		MinPushbackRateBps: 120_000,
+	}
+}
+
+// Pushback tracks outstanding (sent-but-unacknowledged) bytes against a
+// congestion window and derives the final media send rate from the
+// target rate. A delay increase on either the media path or the RTCP
+// feedback path inflates outstanding bytes and triggers pushback —
+// exactly the Fig. 22 mechanism.
+type Pushback struct {
+	cfg PushbackConfig
+
+	inflight    map[uint64]int // seq → size of unacked packets
+	outstanding int
+	window      int
+
+	pushbackRate float64
+}
+
+// NewPushback returns a pushback controller.
+func NewPushback(cfg PushbackConfig) *Pushback {
+	if cfg.MinWindowBytes <= 0 {
+		cfg = DefaultPushbackConfig()
+	}
+	return &Pushback{cfg: cfg, inflight: make(map[uint64]int), window: cfg.MinWindowBytes}
+}
+
+// OnPacketSent registers an outgoing media packet.
+func (p *Pushback) OnPacketSent(seq uint64, size int) {
+	if _, dup := p.inflight[seq]; dup {
+		return
+	}
+	p.inflight[seq] = size
+	p.outstanding += size
+}
+
+// OnAcked removes an acknowledged (or reported-lost) packet.
+func (p *Pushback) OnAcked(seq uint64) {
+	if size, ok := p.inflight[seq]; ok {
+		delete(p.inflight, seq)
+		p.outstanding -= size
+	}
+}
+
+// Update recomputes the window from the smoothed RTT and target rate,
+// then derives the pushback rate. It returns the pushback rate.
+func (p *Pushback) Update(now sim.Time, targetRateBps, rttMs float64) float64 {
+	if rttMs <= 0 {
+		rttMs = 100
+	}
+	w := int(targetRateBps / 8 * rttMs / 1000 * p.cfg.WindowRTTMultiple)
+	w += p.cfg.ExtraWindowBytes
+	if w < p.cfg.MinWindowBytes {
+		w = p.cfg.MinWindowBytes
+	}
+	p.window = w
+
+	fill := float64(p.outstanding) / float64(p.window)
+	rate := targetRateBps
+	if fill > 1 {
+		// Window exceeded: scale the rate down proportionally so
+		// outstanding data can drain.
+		rate = targetRateBps / fill
+	}
+	if rate < p.cfg.MinPushbackRateBps {
+		rate = p.cfg.MinPushbackRateBps
+	}
+	if rate > targetRateBps {
+		rate = targetRateBps
+	}
+	p.pushbackRate = rate
+	return rate
+}
+
+// OutstandingBytes returns current in-flight bytes.
+func (p *Pushback) OutstandingBytes() int { return p.outstanding }
+
+// WindowBytes returns the current congestion window.
+func (p *Pushback) WindowBytes() int { return p.window }
+
+// Rate returns the last computed pushback rate.
+func (p *Pushback) Rate() float64 { return p.pushbackRate }

@@ -1,0 +1,144 @@
+package jitterbuffer
+
+import (
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// AudioConfig parameterizes the audio playout buffer (NetEq analogue).
+type AudioConfig struct {
+	// PacketDuration is the audio carried per packet (20 ms Opus).
+	PacketDuration sim.Time
+	// SamplesPerPacket converts packets to samples (48 kHz × 20 ms = 960).
+	SamplesPerPacket int
+	// MinTargetDelay / MaxTargetDelay bound the adaptive target.
+	MinTargetDelay sim.Time
+	MaxTargetDelay sim.Time
+	// JitterMultiplier scales the jitter estimate into target delay.
+	JitterMultiplier float64
+}
+
+// DefaultAudioConfig returns a 20 ms / 48 kHz configuration.
+func DefaultAudioConfig() AudioConfig {
+	return AudioConfig{
+		PacketDuration:   20 * sim.Millisecond,
+		SamplesPerPacket: 960,
+		MinTargetDelay:   20 * sim.Millisecond,
+		MaxTargetDelay:   500 * sim.Millisecond,
+		JitterMultiplier: 3.5,
+	}
+}
+
+// AudioBuffer is the adaptive audio playout buffer. Late packets force
+// concealment: the playout clock never stops, so every missing
+// PacketDuration of audio is synthesized (counted in ConcealedSamples)
+// — the paper's Fig. 4 metric.
+type AudioBuffer struct {
+	cfg AudioConfig
+
+	baseline    sim.Time
+	initialized bool
+
+	jitterMs   float64
+	lastSend   sim.Time
+	lastArrive sim.Time
+
+	lastDelay        sim.Time
+	delaySumMs       float64
+	packets          uint64
+	concealedSamples uint64
+	concealEvents    uint64
+	totalSamples     uint64
+}
+
+// NewAudioBuffer returns a buffer with the given config (zero value
+// selects defaults).
+func NewAudioBuffer(cfg AudioConfig) *AudioBuffer {
+	if cfg.PacketDuration <= 0 {
+		cfg = DefaultAudioConfig()
+	}
+	return &AudioBuffer{cfg: cfg}
+}
+
+// TargetDelay returns the adaptive target buffer delay.
+func (b *AudioBuffer) TargetDelay() sim.Time {
+	t := sim.FromMilliseconds(b.jitterMs * b.cfg.JitterMultiplier)
+	if t < b.cfg.MinTargetDelay {
+		t = b.cfg.MinTargetDelay
+	}
+	if t > b.cfg.MaxTargetDelay {
+		t = b.cfg.MaxTargetDelay
+	}
+	return t
+}
+
+// OnPacket feeds one audio packet in sequence order. It returns the
+// packet's buffer delay and the samples concealed while waiting for it.
+func (b *AudioBuffer) OnPacket(sendAt, arrival sim.Time) (bufferDelay sim.Time, concealed int) {
+	b.packets++
+	b.totalSamples += uint64(b.cfg.SamplesPerPacket)
+
+	if b.lastArrive != 0 || b.lastSend != 0 {
+		d := (arrival - b.lastArrive) - (sendAt - b.lastSend)
+		if d < 0 {
+			d = -d
+		}
+		b.jitterMs += (d.Milliseconds() - b.jitterMs) / 16
+	}
+	b.lastSend, b.lastArrive = sendAt, arrival
+
+	if !b.initialized {
+		b.baseline = arrival - sendAt + b.TargetDelay()
+		b.initialized = true
+	}
+
+	due := sendAt + b.baseline
+	if arrival > due {
+		// Late: the playout clock already passed this packet's slot.
+		// Every missed PacketDuration was synthesized.
+		gap := arrival - due
+		pkts := int(gap/b.cfg.PacketDuration) + 1
+		concealed = pkts * b.cfg.SamplesPerPacket
+		b.concealedSamples += uint64(concealed)
+		b.concealEvents++
+		// Rebuild headroom.
+		b.baseline = arrival - sendAt + b.TargetDelay()/2
+		bufferDelay = 0
+	} else {
+		bufferDelay = due - arrival
+		// Gentle latency recovery when far above target.
+		if bufferDelay > b.TargetDelay()*2 {
+			b.baseline -= b.cfg.PacketDuration / 40
+		}
+	}
+	b.lastDelay = bufferDelay
+	b.delaySumMs += bufferDelay.Milliseconds()
+	return bufferDelay, concealed
+}
+
+// AudioStats summarizes buffer state.
+type AudioStats struct {
+	CurrentDelayMs   float64
+	TargetDelayMs    float64
+	AvgDelayMs       float64
+	ConcealedSamples uint64
+	TotalSamples     uint64
+	ConcealEvents    uint64
+	Packets          uint64
+}
+
+// Stats returns current statistics.
+func (b *AudioBuffer) Stats() AudioStats {
+	avg := 0.0
+	if b.packets > 0 {
+		avg = b.delaySumMs / float64(b.packets)
+	}
+	return AudioStats{
+		CurrentDelayMs:   b.lastDelay.Milliseconds(),
+		TargetDelayMs:    b.TargetDelay().Milliseconds(),
+		AvgDelayMs:       avg,
+		ConcealedSamples: b.concealedSamples,
+		TotalSamples:     b.totalSamples,
+		ConcealEvents:    b.concealEvents,
+		Packets:          b.packets,
+	}
+}

@@ -1,0 +1,239 @@
+package jitterbuffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/domino5g/domino/internal/sim"
+)
+
+const frame = sim.Time(1000000 / 30) // ≈33.3 ms in µs
+
+// playFrames drives a video buffer with frames sent every frame
+// interval and delivered after delayFn(i).
+func playFrames(b *VideoBuffer, n int, delayFn func(i int) sim.Time) []RenderEvent {
+	var evs []RenderEvent
+	for i := 0; i < n; i++ {
+		sendAt := sim.Time(i) * frame
+		evs = append(evs, b.OnFrame(uint64(i), sendAt, sendAt+delayFn(i)))
+	}
+	return evs
+}
+
+func TestVideoStableNetworkNoFreezes(t *testing.T) {
+	b := NewVideoBuffer(DefaultVideoConfig())
+	evs := playFrames(b, 300, func(int) sim.Time { return 30 * sim.Millisecond })
+	st := b.Stats(sim.Time(300) * frame)
+	if st.FreezeCount != 0 {
+		t.Fatalf("freezes on a stable network: %d", st.FreezeCount)
+	}
+	// Renders must be monotone and spaced at the frame interval.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].RenderAt < evs[i-1].RenderAt {
+			t.Fatal("render times not monotone")
+		}
+	}
+	if st.TotalFrames != 300 {
+		t.Fatalf("frames = %d", st.TotalFrames)
+	}
+}
+
+func TestVideoDelaySurgeDrainsAndFreezes(t *testing.T) {
+	b := NewVideoBuffer(DefaultVideoConfig())
+	// 100 stable frames, then a 280 ms delay surge (the Fig. 20 shape).
+	evs := playFrames(b, 200, func(i int) sim.Time {
+		if i >= 100 && i < 130 {
+			return 280 * sim.Millisecond
+		}
+		return 25 * sim.Millisecond
+	})
+	st := b.Stats(sim.Time(200) * frame)
+	if st.DrainEvents == 0 {
+		t.Fatal("delay surge did not drain the buffer")
+	}
+	if st.FreezeCount == 0 {
+		t.Fatal("delay surge did not cause a freeze")
+	}
+	if st.FreezeTotalMs < 100 {
+		t.Fatalf("freeze total %vms too small", st.FreezeTotalMs)
+	}
+	// The drained frame rendered with zero buffer delay.
+	found := false
+	for _, ev := range evs {
+		if ev.Drained && ev.BufferDelay == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no zero-delay drained render")
+	}
+}
+
+func TestVideoJitterGrowsTargetDelay(t *testing.T) {
+	calm := NewVideoBuffer(DefaultVideoConfig())
+	playFrames(calm, 200, func(int) sim.Time { return 30 * sim.Millisecond })
+
+	jittery := NewVideoBuffer(DefaultVideoConfig())
+	rng := sim.NewRNG(1)
+	playFrames(jittery, 200, func(int) sim.Time {
+		return 30*sim.Millisecond + sim.Time(rng.Exponential(float64(40*sim.Millisecond)))
+	})
+	if jittery.TargetDelay() <= calm.TargetDelay() {
+		t.Fatalf("jitter did not grow target: %v vs %v", jittery.TargetDelay(), calm.TargetDelay())
+	}
+}
+
+func TestVideoLatencyRecoveryAfterSpike(t *testing.T) {
+	b := NewVideoBuffer(DefaultVideoConfig())
+	// Spike then long calm stretch: buffered delay should shrink again.
+	playFrames(b, 60, func(i int) sim.Time {
+		if i == 30 {
+			return 300 * sim.Millisecond
+		}
+		return 25 * sim.Millisecond
+	})
+	afterSpike := b.Stats(sim.Time(60) * frame).CurrentDelayMs
+	playFrames2 := func(n int) {
+		for i := 0; i < n; i++ {
+			sendAt := sim.Time(60+i) * frame
+			b.OnFrame(uint64(60+i), sendAt, sendAt+25*sim.Millisecond)
+		}
+	}
+	playFrames2(600)
+	final := b.Stats(sim.Time(660) * frame).CurrentDelayMs
+	if final >= afterSpike {
+		t.Fatalf("buffer delay did not recover: %v -> %v", afterSpike, final)
+	}
+}
+
+func TestVideoFPSDropsDuringFreeze(t *testing.T) {
+	b := NewVideoBuffer(DefaultVideoConfig())
+	playFrames(b, 100, func(int) sim.Time { return 25 * sim.Millisecond })
+	fpsBefore := b.Stats(sim.Time(99)*frame + 25*sim.Millisecond).FPS
+	if fpsBefore < 25 {
+		t.Fatalf("steady-state FPS = %v", fpsBefore)
+	}
+	// A 500 ms gap in arrivals: no renders during it.
+	for i := 100; i < 130; i++ {
+		sendAt := sim.Time(i) * frame
+		b.OnFrame(uint64(i), sendAt, sendAt+500*sim.Millisecond)
+	}
+	// Query mid-gap: renders after now do not count.
+	midGap := sim.Time(103) * frame
+	if fps := b.Stats(midGap).FPS; fps >= fpsBefore {
+		t.Fatalf("FPS did not drop during stall: %v", fps)
+	}
+}
+
+func TestVideoStatsFrozenNow(t *testing.T) {
+	b := NewVideoBuffer(DefaultVideoConfig())
+	playFrames(b, 50, func(i int) sim.Time {
+		if i == 40 {
+			return 400 * sim.Millisecond
+		}
+		return 25 * sim.Millisecond
+	})
+	// Immediately after the freeze-ending frame's render, FrozenNow is
+	// false; during the gap it was true.
+	during := sim.Time(40)*frame + 100*sim.Millisecond
+	if !b.Stats(during).FrozenNow {
+		t.Fatal("FrozenNow false during freeze window")
+	}
+}
+
+func TestAudioStableNoConcealment(t *testing.T) {
+	b := NewAudioBuffer(DefaultAudioConfig())
+	for i := 0; i < 500; i++ {
+		sendAt := sim.Time(i) * 20 * sim.Millisecond
+		if _, c := b.OnPacket(sendAt, sendAt+30*sim.Millisecond); c != 0 {
+			t.Fatalf("concealment on stable network at packet %d", i)
+		}
+	}
+	st := b.Stats()
+	if st.ConcealedSamples != 0 || st.ConcealEvents != 0 {
+		t.Fatal("stable network concealed samples")
+	}
+	if st.TotalSamples != 500*960 {
+		t.Fatalf("total samples = %d", st.TotalSamples)
+	}
+}
+
+func TestAudioLatePacketConceals(t *testing.T) {
+	b := NewAudioBuffer(DefaultAudioConfig())
+	for i := 0; i < 100; i++ {
+		sendAt := sim.Time(i) * 20 * sim.Millisecond
+		b.OnPacket(sendAt, sendAt+30*sim.Millisecond)
+	}
+	// One packet arrives 200 ms late: ~10 packets of audio concealed.
+	sendAt := sim.Time(100) * 20 * sim.Millisecond
+	_, concealed := b.OnPacket(sendAt, sendAt+230*sim.Millisecond)
+	if concealed < 960 {
+		t.Fatalf("late packet concealed only %d samples", concealed)
+	}
+	st := b.Stats()
+	if st.ConcealEvents != 1 {
+		t.Fatalf("conceal events = %d", st.ConcealEvents)
+	}
+}
+
+func TestAudioJitterGrowsTarget(t *testing.T) {
+	calm := NewAudioBuffer(DefaultAudioConfig())
+	for i := 0; i < 300; i++ {
+		sendAt := sim.Time(i) * 20 * sim.Millisecond
+		calm.OnPacket(sendAt, sendAt+30*sim.Millisecond)
+	}
+	rng := sim.NewRNG(2)
+	jittery := NewAudioBuffer(DefaultAudioConfig())
+	for i := 0; i < 300; i++ {
+		sendAt := sim.Time(i) * 20 * sim.Millisecond
+		jittery.OnPacket(sendAt, sendAt+30*sim.Millisecond+sim.Time(rng.Exponential(float64(30*sim.Millisecond))))
+	}
+	if jittery.TargetDelay() <= calm.TargetDelay() {
+		t.Fatal("audio target did not adapt to jitter")
+	}
+}
+
+// Property: video render times are always monotone non-decreasing and
+// buffer delays are never negative, for arbitrary delay sequences.
+func TestVideoMonotoneProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		b := NewVideoBuffer(DefaultVideoConfig())
+		last := sim.Time(0)
+		for i, d := range delays {
+			sendAt := sim.Time(i) * frame
+			ev := b.OnFrame(uint64(i), sendAt, sendAt+sim.Time(d)*100*sim.Microsecond)
+			if ev.RenderAt < last || ev.BufferDelay < 0 {
+				return false
+			}
+			last = ev.RenderAt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: audio concealment only happens for late packets, and
+// target delay stays within configured bounds.
+func TestAudioBoundsProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		cfg := DefaultAudioConfig()
+		b := NewAudioBuffer(cfg)
+		for i, d := range delays {
+			sendAt := sim.Time(i) * 20 * sim.Millisecond
+			bd, _ := b.OnPacket(sendAt, sendAt+sim.Time(d)*50*sim.Microsecond)
+			if bd < 0 {
+				return false
+			}
+			td := b.TargetDelay()
+			if td < cfg.MinTargetDelay || td > cfg.MaxTargetDelay {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

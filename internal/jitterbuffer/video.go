@@ -1,0 +1,225 @@
+// Package jitterbuffer models WebRTC's receive-side adaptive playout
+// buffers: a frame-level video buffer and a sample-level audio buffer.
+// Both trade latency for smoothness exactly as the paper describes
+// (§6.1): the buffer holds early frames so late ones still meet their
+// render deadline; rapid delay surges outrun the buffer, draining it to
+// zero and freezing playback (Fig. 20), while sustained jitter grows
+// the target delay and hence mouth-to-ear latency (Fig. 3).
+package jitterbuffer
+
+import (
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// VideoConfig parameterizes the video playout buffer.
+type VideoConfig struct {
+	// FrameInterval is the nominal inter-frame spacing (33.3 ms at 30 fps).
+	FrameInterval sim.Time
+	// MinTargetDelay floors the adaptive target.
+	MinTargetDelay sim.Time
+	// MaxTargetDelay caps the adaptive target.
+	MaxTargetDelay sim.Time
+	// JitterMultiplier scales the jitter estimate into target delay.
+	JitterMultiplier float64
+	// DrainRatePerFrame is how much buffered delay may be shed per
+	// rendered frame when the buffer holds more than the target
+	// (latency recovery after a spike).
+	DrainRatePerFrame sim.Time
+	// FreezeThreshold: a render gap beyond
+	// max(3×FrameInterval, FrameInterval+FreezeThreshold) counts as a
+	// freeze (WebRTC uses 150 ms).
+	FreezeThreshold sim.Time
+}
+
+// DefaultVideoConfig returns a 30 fps configuration with WebRTC-like
+// adaptation constants.
+func DefaultVideoConfig() VideoConfig {
+	return VideoConfig{
+		FrameInterval:     sim.FromMilliseconds(1000.0 / 30),
+		MinTargetDelay:    30 * sim.Millisecond,
+		MaxTargetDelay:    700 * sim.Millisecond,
+		JitterMultiplier:  4.0,
+		DrainRatePerFrame: 500 * sim.Microsecond,
+		FreezeThreshold:   150 * sim.Millisecond,
+	}
+}
+
+// RenderEvent describes the playout decision for one frame.
+type RenderEvent struct {
+	FrameID  uint64
+	RenderAt sim.Time
+	// BufferDelay is how long the frame sat in the buffer (render −
+	// arrival). Zero means the buffer was drained: the frame rendered
+	// the moment it arrived.
+	BufferDelay sim.Time
+	// Drained marks a zero-delay (late) render.
+	Drained bool
+	// FreezeDuration is the render gap beyond the freeze threshold
+	// that this frame ended; zero when no freeze occurred.
+	FreezeDuration sim.Time
+}
+
+// VideoBuffer is the adaptive frame playout buffer. Feed completed
+// frames in decode order via OnFrame; the buffer returns the render
+// schedule and tracks freeze/fps/delay statistics.
+type VideoBuffer struct {
+	cfg VideoConfig
+
+	// baseline maps sender timestamps to render deadlines:
+	// render = sendAt + baseline. It adapts up instantly on late
+	// frames and drains down slowly when the buffer is over target.
+	baseline    sim.Time
+	initialized bool
+
+	jitterMs   float64 // EWMA jitter estimate (RFC 3550 style)
+	lastSend   sim.Time
+	lastArrive sim.Time
+
+	lastRender  sim.Time
+	lastDelay   sim.Time
+	renderTimes []sim.Time // recent renders, for FPS queries
+	totalFrames uint64
+	drainEvents uint64
+	freezeCount uint64
+	freezeTotal sim.Time
+	delaySumMs  float64
+	frozenUntil sim.Time
+}
+
+// NewVideoBuffer returns a buffer with the given config (zero value
+// selects defaults).
+func NewVideoBuffer(cfg VideoConfig) *VideoBuffer {
+	if cfg.FrameInterval <= 0 {
+		cfg = DefaultVideoConfig()
+	}
+	return &VideoBuffer{cfg: cfg}
+}
+
+// TargetDelay returns the current adaptive target buffer delay.
+func (b *VideoBuffer) TargetDelay() sim.Time {
+	t := sim.FromMilliseconds(b.jitterMs * b.cfg.JitterMultiplier)
+	if t < b.cfg.MinTargetDelay {
+		t = b.cfg.MinTargetDelay
+	}
+	if t > b.cfg.MaxTargetDelay {
+		t = b.cfg.MaxTargetDelay
+	}
+	return t
+}
+
+// OnFrame feeds one completed frame (all packets arrived) in decode
+// order and returns its render decision.
+func (b *VideoBuffer) OnFrame(frameID uint64, sendAt, arrival sim.Time) RenderEvent {
+	b.totalFrames++
+
+	// Jitter estimate from arrival-vs-send spacing deviation.
+	if b.lastArrive != 0 || b.lastSend != 0 {
+		d := (arrival - b.lastArrive) - (sendAt - b.lastSend)
+		if d < 0 {
+			d = -d
+		}
+		b.jitterMs += (d.Milliseconds() - b.jitterMs) / 16
+	}
+	b.lastSend, b.lastArrive = sendAt, arrival
+
+	if !b.initialized {
+		b.baseline = arrival - sendAt + b.TargetDelay()
+		b.initialized = true
+	}
+
+	render := sendAt + b.baseline
+	ev := RenderEvent{FrameID: frameID}
+	if render <= arrival {
+		// Late frame: the buffer is empty; render immediately and lift
+		// the baseline so subsequent frames regain headroom.
+		ev.Drained = true
+		b.drainEvents++
+		render = arrival
+		b.baseline = arrival - sendAt + b.TargetDelay()/2
+	} else {
+		// Early frame: shed a little latency if we are above target.
+		delay := render - arrival
+		if delay > b.TargetDelay() {
+			shed := b.cfg.DrainRatePerFrame
+			if over := delay - b.TargetDelay(); shed > over {
+				shed = over
+			}
+			b.baseline -= shed
+			render -= shed
+		}
+	}
+	// Renders are monotone.
+	if b.lastRender != 0 && render < b.lastRender {
+		render = b.lastRender
+	}
+
+	// Freeze detection on the render gap.
+	if b.lastRender != 0 {
+		gap := render - b.lastRender
+		threshold := 3 * b.cfg.FrameInterval
+		if alt := b.cfg.FrameInterval + b.cfg.FreezeThreshold; alt > threshold {
+			threshold = alt
+		}
+		if gap >= threshold {
+			b.freezeCount++
+			b.freezeTotal += gap
+			ev.FreezeDuration = gap
+			b.frozenUntil = render
+		}
+	}
+
+	ev.RenderAt = render
+	ev.BufferDelay = render - arrival
+	b.lastDelay = ev.BufferDelay
+	b.delaySumMs += ev.BufferDelay.Milliseconds()
+	b.lastRender = render
+	b.renderTimes = append(b.renderTimes, render)
+	// Keep a bounded render history (2 s at 60 fps).
+	if len(b.renderTimes) > 120 {
+		b.renderTimes = b.renderTimes[len(b.renderTimes)-120:]
+	}
+	return ev
+}
+
+// VideoStats summarizes buffer state for the 50 ms stats stream.
+type VideoStats struct {
+	CurrentDelayMs float64
+	TargetDelayMs  float64
+	AvgDelayMs     float64
+	FPS            float64
+	FreezeCount    uint64
+	FreezeTotalMs  float64
+	DrainEvents    uint64
+	TotalFrames    uint64
+	FrozenNow      bool
+}
+
+// Stats returns statistics as of time now. FPS counts frames rendered
+// in the trailing second.
+func (b *VideoBuffer) Stats(now sim.Time) VideoStats {
+	fps := 0
+	for i := len(b.renderTimes) - 1; i >= 0; i-- {
+		if b.renderTimes[i] > now {
+			continue // scheduled but not yet rendered
+		}
+		if now-b.renderTimes[i] > sim.Second {
+			break
+		}
+		fps++
+	}
+	avg := 0.0
+	if b.totalFrames > 0 {
+		avg = b.delaySumMs / float64(b.totalFrames)
+	}
+	return VideoStats{
+		CurrentDelayMs: b.lastDelay.Milliseconds(),
+		TargetDelayMs:  b.TargetDelay().Milliseconds(),
+		AvgDelayMs:     avg,
+		FPS:            float64(fps),
+		FreezeCount:    b.freezeCount,
+		FreezeTotalMs:  b.freezeTotal.Milliseconds(),
+		DrainEvents:    b.drainEvents,
+		TotalFrames:    b.totalFrames,
+		FrozenNow:      now < b.frozenUntil,
+	}
+}

@@ -1,0 +1,199 @@
+package phy
+
+import (
+	"math"
+	"sort"
+
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// ChannelConfig parameterizes the time-varying wireless channel for one
+// link direction of one UE.
+type ChannelConfig struct {
+	// MeanSNRdB is the long-run average SNR. ~22 dB models a healthy
+	// mid-band link; ~8 dB models the persistently poor Amarisoft
+	// uplink the paper describes.
+	MeanSNRdB float64
+	// StdSNRdB is the stationary standard deviation of the slow-fading
+	// (shadowing) process.
+	StdSNRdB float64
+	// CoherenceTime controls how fast the slow-fading process decorrelates
+	// (Gauss–Markov time constant).
+	CoherenceTime sim.Time
+	// FastFadeStdDB is per-slot fast-fading noise layered on top of the
+	// slow process.
+	FastFadeStdDB float64
+	// DipRate is the expected number of deep-fade events per minute
+	// (mobility/blocking). Zero disables random dips.
+	DipRate float64
+	// DipDepthDB and DipDuration shape each deep fade.
+	DipDepthDB  float64
+	DipDuration sim.Time
+}
+
+// DefaultGoodChannel returns a healthy mid-band channel profile.
+func DefaultGoodChannel() ChannelConfig {
+	return ChannelConfig{
+		MeanSNRdB:     23,
+		StdSNRdB:      2.5,
+		CoherenceTime: 200 * sim.Millisecond,
+		FastFadeStdDB: 1.2,
+		DipRate:       0.4,
+		DipDepthDB:    14,
+		DipDuration:   600 * sim.Millisecond,
+	}
+}
+
+// DefaultPoorChannel returns the persistently poor profile (Amarisoft
+// uplink): low mean, frequent dips. Depth and duration are calibrated
+// so delay excursions stay within the paper's observed ~1 s tail.
+func DefaultPoorChannel() ChannelConfig {
+	return ChannelConfig{
+		MeanSNRdB:     12,
+		StdSNRdB:      3.0,
+		CoherenceTime: 150 * sim.Millisecond,
+		FastFadeStdDB: 1.8,
+		DipRate:       3.0,
+		DipDepthDB:    8,
+		DipDuration:   600 * sim.Millisecond,
+	}
+}
+
+// scriptedDip is a deterministic SNR excursion injected by scenarios
+// (e.g. the Fig. 12 channel-degradation case study).
+type scriptedDip struct {
+	start, end sim.Time
+	depthDB    float64
+}
+
+// Channel is the evolving SNR process for one UE/direction. Sample is
+// called once per slot by the MAC; the process advances lazily based on
+// elapsed time, so slot rate does not bias the statistics.
+type Channel struct {
+	cfg ChannelConfig
+	rng *sim.RNG
+
+	lastT    sim.Time
+	slowSNR  float64 // current slow-fading SNR (dB), pre fast fade
+	dipUntil sim.Time
+	dipDepth float64
+	scripted []scriptedDip
+}
+
+// NewChannel creates a channel process with its own forked RNG stream.
+func NewChannel(cfg ChannelConfig, rng *sim.RNG) *Channel {
+	return &Channel{
+		cfg:     cfg,
+		rng:     rng.Fork(),
+		slowSNR: cfg.MeanSNRdB,
+	}
+}
+
+// ScriptDip schedules a deterministic SNR reduction of depthDB between
+// start and end, on top of the stochastic process. Scenario builders
+// use this to reproduce the paper's case-study figures.
+func (c *Channel) ScriptDip(start, end sim.Time, depthDB float64) {
+	c.scripted = append(c.scripted, scriptedDip{start: start, end: end, depthDB: depthDB})
+	sort.Slice(c.scripted, func(i, j int) bool { return c.scripted[i].start < c.scripted[j].start })
+}
+
+// Sample advances the process to time now and returns the instantaneous
+// SNR in dB.
+func (c *Channel) Sample(now sim.Time) float64 {
+	dt := now - c.lastT
+	if dt < 0 {
+		dt = 0
+	}
+	c.lastT = now
+
+	// Gauss–Markov slow fading: exponential decorrelation toward the
+	// mean with stationary variance Std².
+	if c.cfg.CoherenceTime > 0 && dt > 0 {
+		rho := math.Exp(-float64(dt) / float64(c.cfg.CoherenceTime))
+		innovStd := c.cfg.StdSNRdB * math.Sqrt(1-rho*rho)
+		c.slowSNR = c.cfg.MeanSNRdB + rho*(c.slowSNR-c.cfg.MeanSNRdB) + c.rng.Normal(0, innovStd)
+	}
+
+	// Random deep fades (Poisson arrivals).
+	if c.cfg.DipRate > 0 && now >= c.dipUntil {
+		perSample := c.cfg.DipRate / 60 * float64(dt) / float64(sim.Second)
+		if c.rng.Bool(perSample) {
+			c.dipUntil = now + c.rng.Jitter(c.cfg.DipDuration, 0.4)
+			c.dipDepth = c.rng.Uniform(0.6, 1.3) * c.cfg.DipDepthDB
+		}
+	}
+
+	snr := c.slowSNR + c.rng.Normal(0, c.cfg.FastFadeStdDB)
+	if now < c.dipUntil {
+		snr -= c.dipDepth
+	}
+	for _, d := range c.scripted {
+		if now >= d.start && now < d.end {
+			snr -= d.depthDB
+		}
+	}
+	return snr
+}
+
+// BLER returns the block error rate for transmitting at MCS m over a
+// channel with the given instantaneous SNR. Modeled as a logistic curve
+// around the MCS's required SNR: at the operating point (snr ==
+// required) first-transmission BLER is ~10%, the target link
+// adaptation aims for; each dB of margin roughly halves it.
+func BLER(m MCS, snrDB float64) float64 {
+	margin := snrDB - m.snrRequired()
+	// Logistic centered so that margin 0 → 0.10, steepness ~1.1/dB.
+	bler := 1 / (1 + math.Exp(1.1*margin+2.197)) // ln(9) ≈ 2.197 ⇒ 10% at 0 margin
+	if bler < 1e-5 {
+		bler = 1e-5
+	}
+	return bler
+}
+
+// HARQRetxBLER returns the residual error rate of a HARQ retransmission
+// given the first-transmission BLER. Chase combining adds ~3 dB of
+// effective SNR per attempt; we approximate by squaring and flooring.
+func HARQRetxBLER(firstBLER float64) float64 {
+	b := firstBLER * firstBLER * 4
+	if b > firstBLER {
+		b = firstBLER
+	}
+	if b < 1e-6 {
+		b = 1e-6
+	}
+	return b
+}
+
+// LinkAdapter tracks CQI reports and picks the MCS for each grant,
+// modeling the reporting delay and the operator's aggressiveness.
+type LinkAdapter struct {
+	// Backoff is subtracted from the CQI-mapped MCS: positive values
+	// model conservative selection (the Amarisoft UL strategy the
+	// paper calls out), negative model aggressive selection.
+	Backoff int
+	// ReportInterval is the CQI reporting period; MCS only changes on
+	// report boundaries, modeling stale link adaptation.
+	ReportInterval sim.Time
+
+	lastReport sim.Time
+	currentMCS MCS
+	haveReport bool
+}
+
+// NewLinkAdapter returns an adapter with the given backoff and report
+// interval (0 interval means every sample).
+func NewLinkAdapter(backoff int, reportInterval sim.Time) *LinkAdapter {
+	return &LinkAdapter{Backoff: backoff, ReportInterval: reportInterval}
+}
+
+// MCSForSlot returns the MCS to use at time now given instantaneous
+// channel SNR. The returned value only changes on report boundaries.
+func (la *LinkAdapter) MCSForSlot(now sim.Time, snrDB float64) MCS {
+	if !la.haveReport || la.ReportInterval == 0 || now-la.lastReport >= la.ReportInterval {
+		cqi := CQIFromSNR(snrDB)
+		la.currentMCS = MCSFromCQI(cqi, la.Backoff)
+		la.lastReport = now
+		la.haveReport = true
+	}
+	return la.currentMCS
+}

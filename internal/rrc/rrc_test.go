@@ -1,0 +1,96 @@
+package rrc
+
+import (
+	"testing"
+
+	"github.com/domino5g/domino/internal/sim"
+)
+
+func TestStableNeverReleases(t *testing.T) {
+	m := NewMachine(Stable(), sim.NewRNG(1))
+	for now := sim.Time(0); now < 10*sim.Minute; now += sim.Millisecond {
+		if !m.Poll(now) {
+			t.Fatalf("stable machine released at %v", now)
+		}
+	}
+	if len(m.Transitions()) != 1 {
+		t.Fatalf("transitions = %d, want 1 (initial)", len(m.Transitions()))
+	}
+}
+
+func TestScriptedReleaseCycle(t *testing.T) {
+	m := NewMachine(Flaky(0), sim.NewRNG(2))
+	m.ScriptRelease(sim.Second)
+	rntiBefore := m.RNTI()
+
+	if !m.Poll(500 * sim.Millisecond) {
+		t.Fatal("connected before release")
+	}
+	if m.Poll(sim.Second) {
+		t.Fatal("still connected at release time")
+	}
+	if m.State() != Idle {
+		t.Fatal("state should be Idle")
+	}
+	// During the outage (~300 ms) the UE is unreachable; poll at slot
+	// cadence so the reconnection is observed promptly.
+	if m.Poll(1100 * sim.Millisecond) {
+		t.Fatal("connected during outage")
+	}
+	reconnected := false
+	for now := 1101 * sim.Millisecond; now <= 1500*sim.Millisecond; now += sim.Millisecond {
+		if m.Poll(now) {
+			reconnected = true
+			break
+		}
+	}
+	if !reconnected {
+		t.Fatal("did not reconnect")
+	}
+	if m.RNTI() == rntiBefore {
+		t.Fatal("RNTI did not change across reconnection")
+	}
+	tr := m.Transitions()
+	if len(tr) != 3 {
+		t.Fatalf("transitions = %d, want 3", len(tr))
+	}
+	if tr[1].To != Idle || tr[2].To != Connected {
+		t.Fatalf("transition sequence wrong: %+v", tr)
+	}
+	outage := tr[2].At - tr[1].At
+	if outage < 200*sim.Millisecond || outage > 400*sim.Millisecond {
+		t.Fatalf("outage = %v, want ~300ms", outage)
+	}
+}
+
+func TestFlakyReleaseRate(t *testing.T) {
+	m := NewMachine(Flaky(4), sim.NewRNG(3))
+	releases := 0
+	connected := m.State() == Connected
+	for now := sim.Time(0); now < 10*sim.Minute; now += sim.Millisecond {
+		up := m.Poll(now)
+		if connected && !up {
+			releases++
+		}
+		connected = up
+	}
+	// 4/min over 10 min ⇒ ~40 releases; allow wide tolerance.
+	if releases < 20 || releases > 70 {
+		t.Fatalf("releases = %d over 10 min at rate 4/min", releases)
+	}
+}
+
+func TestRNTIRange(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		m := NewMachine(Stable(), sim.NewRNG(seed))
+		if m.RNTI() == 0 || m.RNTI() > 0xFFF2 {
+			t.Fatalf("RNTI %d out of C-RNTI range", m.RNTI())
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Connected.String() != "CONNECTED" || Idle.String() != "IDLE" {
+		t.Fatal("state strings")
+	}
+}

@@ -1,0 +1,85 @@
+package rtc
+
+import (
+	"testing"
+
+	"github.com/domino5g/domino/internal/netem"
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// collectLink records every packet sent through it with its send time.
+type collectLink struct {
+	engine *sim.Engine
+	pkts   []*netem.Packet
+	at     []sim.Time
+}
+
+func (l *collectLink) Send(p *netem.Packet) {
+	l.pkts = append(l.pkts, p)
+	l.at = append(l.at, l.engine.Now())
+}
+
+func TestPacerSpacesFrameBurst(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultClientConfig("c", true)
+	cfg.StartRate = 3_000_000 // ~12.5 KB frames: 11 packets
+	c := NewClient(e, sim.NewRNG(1), cfg, nil, nil)
+	link := &collectLink{engine: e}
+	c.Attach(link)
+	c.Start()
+	e.RunUntil(200 * sim.Millisecond)
+	c.Stop()
+
+	// Find one video frame's packets and verify pacing.
+	byFrame := map[uint64][]sim.Time{}
+	for i, p := range link.pkts {
+		if p.Kind == netem.KindVideo {
+			byFrame[p.FrameID] = append(byFrame[p.FrameID], link.at[i])
+		}
+	}
+	multi := false
+	for _, times := range byFrame {
+		if len(times) < 3 {
+			continue
+		}
+		multi = true
+		for i := 1; i < len(times); i++ {
+			gap := times[i] - times[i-1]
+			if gap != pacerSpacing {
+				t.Fatalf("pacer gap = %v, want %v", gap, pacerSpacing)
+			}
+		}
+	}
+	if !multi {
+		t.Fatal("no multi-packet frames observed")
+	}
+}
+
+func TestPacedPacketsCarryActualSendTime(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultClientConfig("c", true)
+	cfg.StartRate = 3_000_000
+	c := NewClient(e, sim.NewRNG(2), cfg, nil, nil)
+	link := &collectLink{engine: e}
+	c.Attach(link)
+	c.Start()
+	e.RunUntil(100 * sim.Millisecond)
+	c.Stop()
+	for i, p := range link.pkts {
+		if p.SentAt != link.at[i] {
+			t.Fatalf("packet SentAt %v but sent at %v", p.SentAt, link.at[i])
+		}
+	}
+}
+
+func TestSessionWithoutAttachDropsSafely(t *testing.T) {
+	// A client with no link must not panic; packets are discarded.
+	e := sim.NewEngine()
+	c := NewClient(e, sim.NewRNG(3), DefaultClientConfig("c", true), nil, nil)
+	c.Start()
+	e.RunUntil(100 * sim.Millisecond)
+	c.Stop()
+	if c.SentPackets != 0 {
+		t.Fatalf("unattached client counted %d sends", c.SentPackets)
+	}
+}

@@ -1,0 +1,166 @@
+// Package rtc implements the WebRTC-like media stack of the
+// reproduction: video/audio sources with an encoder rate ladder, RTP
+// packetization, receive-side frame assembly and jitter buffering,
+// transport-wide RTCP feedback driving GCC, a 50 ms stats collector
+// matching the paper's instrumented client, and the two-party Session
+// that wires clients across a 5G cell and wired paths.
+package rtc
+
+import (
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// Resolution is a video encode resolution (vertical lines).
+type Resolution int
+
+// The WebRTC simulcast ladder the paper observes (Table 3).
+const (
+	Res180  Resolution = 180
+	Res360  Resolution = 360
+	Res540  Resolution = 540
+	Res720  Resolution = 720
+	Res1080 Resolution = 1080
+)
+
+// ladder maps minimum sustainable encoder rate (bps) to resolution.
+var ladder = []struct {
+	minRate float64
+	res     Resolution
+}{
+	{2_600_000, Res1080},
+	{1_300_000, Res720},
+	{650_000, Res540},
+	{280_000, Res360},
+	{0, Res180},
+}
+
+// ResolutionForRate returns the ladder rung for an encoder rate.
+func ResolutionForRate(bps float64) Resolution {
+	for _, l := range ladder {
+		if bps >= l.minRate {
+			return l.res
+		}
+	}
+	return Res180
+}
+
+// VideoSourceConfig parameterizes the synthetic encoder.
+type VideoSourceConfig struct {
+	// FPS is the capture/encode frame rate.
+	FPS float64
+	// KeyframeInterval is the distance between intra frames.
+	KeyframeInterval int
+	// KeyframeScale is the size multiplier for keyframes.
+	KeyframeScale float64
+	// SizeJitter is the relative stddev of per-frame size variation.
+	SizeJitter float64
+}
+
+// DefaultVideoSourceConfig returns a 30 fps encoder profile matching
+// the prerecorded-clip injection of the paper's experiments.
+func DefaultVideoSourceConfig() VideoSourceConfig {
+	return VideoSourceConfig{FPS: 30, KeyframeInterval: 300, KeyframeScale: 3.0, SizeJitter: 0.18}
+}
+
+// VideoFrame is one encoded frame.
+type VideoFrame struct {
+	ID        uint64
+	Bytes     int
+	Key       bool
+	Res       Resolution
+	CaptureAt sim.Time
+}
+
+// VideoSource produces frames sized to the current encoder rate. The
+// encoder follows the pushback rate (GCC's final output) with a small
+// reaction lag, as libwebrtc's rate allocator does.
+type VideoSource struct {
+	cfg  VideoSourceConfig
+	rng  *sim.RNG
+	rate float64 // current encoder rate (bps)
+
+	nextID     uint64
+	frameCount int
+
+	// resTime accumulates wall time per resolution for Table 3.
+	resTime map[Resolution]sim.Time
+	lastAt  sim.Time
+	curRes  Resolution
+}
+
+// NewVideoSource returns a source at startRate.
+func NewVideoSource(cfg VideoSourceConfig, startRate float64, rng *sim.RNG) *VideoSource {
+	if cfg.FPS <= 0 {
+		cfg = DefaultVideoSourceConfig()
+	}
+	return &VideoSource{
+		cfg: cfg, rng: rng.Fork(), rate: startRate,
+		resTime: make(map[Resolution]sim.Time),
+		curRes:  ResolutionForRate(startRate),
+	}
+}
+
+// SetRate updates the encoder rate (called from the GCC output). The
+// encoder smooths rate changes over ~300 ms.
+func (s *VideoSource) SetRate(bps float64) {
+	s.rate = 0.7*s.rate + 0.3*bps
+}
+
+// Rate returns the current encoder rate.
+func (s *VideoSource) Rate() float64 { return s.rate }
+
+// Resolution returns the current ladder rung.
+func (s *VideoSource) Resolution() Resolution { return s.curRes }
+
+// NextFrame produces the frame captured at time at.
+func (s *VideoSource) NextFrame(at sim.Time) VideoFrame {
+	// Account resolution residency for Table 3.
+	if s.lastAt != 0 {
+		s.resTime[s.curRes] += at - s.lastAt
+	}
+	s.lastAt = at
+	s.curRes = ResolutionForRate(s.rate)
+
+	bytes := s.rate / 8 / s.cfg.FPS
+	key := s.frameCount%s.cfg.KeyframeInterval == 0
+	if key {
+		bytes *= s.cfg.KeyframeScale
+	}
+	bytes *= s.rng.Uniform(1-s.cfg.SizeJitter, 1+s.cfg.SizeJitter)
+	if bytes < 200 {
+		bytes = 200
+	}
+	s.frameCount++
+	s.nextID++
+	return VideoFrame{ID: s.nextID, Bytes: int(bytes), Key: key, Res: s.curRes, CaptureAt: at}
+}
+
+// ResolutionShares returns the fraction of time spent at each ladder
+// rung (Table 3 rows).
+func (s *VideoSource) ResolutionShares() map[Resolution]float64 {
+	var total sim.Time
+	for _, d := range s.resTime {
+		total += d
+	}
+	out := make(map[Resolution]float64, len(s.resTime))
+	if total == 0 {
+		return out
+	}
+	for r, d := range s.resTime {
+		out[r] = float64(d) / float64(total)
+	}
+	return out
+}
+
+// AudioSourceConfig parameterizes the Opus-like audio source.
+type AudioSourceConfig struct {
+	// PacketInterval is the packet spacing (20 ms).
+	PacketInterval sim.Time
+	// PacketBytes is the payload+header size per packet.
+	PacketBytes int
+}
+
+// DefaultAudioSourceConfig returns a 20 ms / ~48 kbit/s profile.
+func DefaultAudioSourceConfig() AudioSourceConfig {
+	return AudioSourceConfig{PacketInterval: 20 * sim.Millisecond, PacketBytes: 120}
+}

@@ -1,0 +1,243 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// used by every substrate in the Domino reproduction: the 5G RAN model,
+// the network paths, and the WebRTC media stack all schedule their work
+// as timestamped events on a single Engine.
+//
+// Time is modeled as integer microseconds (Time). All randomness flows
+// through the seeded RNG in rng.go, so a simulation run is a pure
+// function of its configuration and seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in microseconds since the start of the
+// run. Microsecond resolution comfortably resolves 5G slot boundaries
+// (500 µs at 30 kHz SCS) and sub-slot PHY events.
+type Time int64
+
+// Common durations expressed in simulation Time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+)
+
+// MaxTime is the largest representable simulation timestamp.
+const MaxTime Time = math.MaxInt64
+
+// Milliseconds returns the timestamp as a float64 millisecond count.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns the timestamp as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromMilliseconds converts a float64 millisecond count to a Time.
+func FromMilliseconds(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// FromSeconds converts a float64 second count to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// String renders the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// event is a scheduled callback. seq breaks ties so that events
+// scheduled earlier at the same timestamp run first (deterministic
+// FIFO ordering within a timestamp).
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct {
+	e *event
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; simulations are deterministic single-goroutine
+// programs by design.
+type Engine struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	// stopped is set by Stop and halts the run loop after the current
+	// event completes.
+	stopped bool
+	// executed counts dispatched events, exposed for tests and for
+	// benchmark throughput reporting.
+	executed uint64
+}
+
+// NewEngine returns an Engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events dispatched so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule runs fn at absolute time at. Scheduling in the past (before
+// Now) panics: it always indicates a modeling bug, and silently
+// reordering time would destroy causality in the trace data.
+func (e *Engine) Schedule(at Time, fn func()) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{e: ev}
+}
+
+// ScheduleAfter runs fn after delay d from the current time.
+func (e *Engine) ScheduleAfter(d Time, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel marks a scheduled event as dead. Canceling an already-executed
+// or already-canceled event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.e != nil {
+		id.e.dead = true
+	}
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step dispatches the next live event. It reports false when the queue
+// is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in timestamp order until the queue is empty,
+// Stop is called, or the next event would run strictly after deadline.
+// The clock is left at min(deadline, time of last executed event) —
+// i.e. after RunUntil returns normally, Now() == deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		// Peek at the head; live or dead, its timestamp bounds the next
+		// dispatch time.
+		next := e.queue[0]
+		if next.at > deadline {
+			break
+		}
+		e.step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// Pending returns the number of events in the queue, including dead
+// (canceled) entries that have not yet been popped.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Ticker repeatedly schedules fn every interval until canceled. The
+// callback receives the tick time. Tickers are the backbone of the
+// slot-level RAN loop and the 50 ms WebRTC stats collector.
+type Ticker struct {
+	engine   *Engine
+	interval Time
+	fn       func(Time)
+	id       EventID
+	stopped  bool
+}
+
+// NewTicker starts a ticker whose first tick fires at start and then
+// every interval thereafter. interval must be positive.
+func (e *Engine) NewTicker(start, interval Time, fn func(Time)) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.id = e.Schedule(start, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	now := t.engine.Now()
+	t.fn(now)
+	if !t.stopped {
+		t.id = t.engine.Schedule(now+t.interval, t.tick)
+	}
+}
+
+// Stop cancels the ticker. A stopped ticker never fires again.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.engine.Cancel(t.id)
+}

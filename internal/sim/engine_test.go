@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*Millisecond, func() { order = append(order, 3) })
+	e.Schedule(10*Millisecond, func() { order = append(order, 1) })
+	e.Schedule(20*Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 30*Millisecond {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinTimestamp(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5*Millisecond, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id := e.Schedule(Millisecond, func() { ran = true })
+	e.Cancel(id)
+	e.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	// Canceling twice is a no-op.
+	e.Cancel(id)
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, at := range []Time{Millisecond, 2 * Millisecond, 5 * Millisecond} {
+		at := at
+		e.Schedule(at, func() { ran = append(ran, at) })
+	}
+	e.RunUntil(3 * Millisecond)
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events before deadline, want 2", len(ran))
+	}
+	if e.Now() != 3*Millisecond {
+		t.Fatalf("clock after RunUntil = %v, want 3ms", e.Now())
+	}
+	e.RunUntil(10 * Millisecond)
+	if len(ran) != 3 {
+		t.Fatalf("ran %d events total, want 3", len(ran))
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(Millisecond, func() { count++; e.Stop() })
+	e.Schedule(2*Millisecond, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("Stop did not halt the loop: count = %d", count)
+	}
+	// Resume picks up where we left off.
+	e.Run()
+	if count != 2 {
+		t.Fatalf("resume failed: count = %d", count)
+	}
+}
+
+func TestEngineScheduleAfterClampsNegative(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5*Millisecond, func() {
+		e.ScheduleAfter(-Millisecond, func() { ran = true })
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	tk := e.NewTicker(0, 10*Millisecond, func(now Time) {
+		ticks = append(ticks, now)
+	})
+	e.RunUntil(35 * Millisecond)
+	tk.Stop()
+	e.RunUntil(100 * Millisecond)
+	if len(ticks) != 4 { // 0, 10, 20, 30 ms
+		t.Fatalf("tick count = %d, want 4 (%v)", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		if at != Time(i)*10*Millisecond {
+			t.Fatalf("tick %d at %v", i, at)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.NewTicker(0, Millisecond, func(Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after Stop at 3", count)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromMilliseconds(1.5) != 1500*Microsecond {
+		t.Fatal("FromMilliseconds")
+	}
+	if FromSeconds(0.25) != 250*Millisecond {
+		t.Fatal("FromSeconds")
+	}
+	if (2 * Second).Milliseconds() != 2000 {
+		t.Fatal("Milliseconds")
+	}
+	if (1500 * Millisecond).Seconds() != 1.5 {
+		t.Fatal("Seconds")
+	}
+	if (1500 * Millisecond).String() != "1.500s" {
+		t.Fatalf("String = %q", (1500 * Millisecond).String())
+	}
+}
+
+// Property: for any set of event delays, the engine dispatches them in
+// nondecreasing time order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		for _, d := range delays {
+			at := Time(d) * Microsecond
+			e.Schedule(at, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

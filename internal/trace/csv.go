@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// CSV exports flatten individual series for plotting tools — the
+// figures in the paper are CDFs and time series over exactly these
+// columns.
+
+func ms(t sim.Time) string { return strconv.FormatFloat(t.Milliseconds(), 'f', 3, 64) }
+
+// WritePacketsCSV writes the packet series: one row per datagram with
+// send/arrival timestamps and one-way delay in milliseconds.
+func WritePacketsCSV(w io.Writer, set *Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "kind", "dir", "size_bytes", "sent_ms", "arrived_ms", "delay_ms"}); err != nil {
+		return err
+	}
+	for _, p := range set.Packets {
+		rec := []string{
+			strconv.FormatUint(p.Seq, 10), p.Kind.String(), p.Dir.String(),
+			strconv.Itoa(p.Size), ms(p.SentAt), ms(p.Arrived), ms(p.Delay()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDCICSV writes the scheduling telemetry series.
+func WriteDCICSV(w io.Writer, set *Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_ms", "dir", "rnti", "own_prb", "other_prb", "mcs", "tbs_bits", "used_bits", "harq_retx", "rlc_retx", "proactive", "unused"}); err != nil {
+		return err
+	}
+	for _, r := range set.DCI {
+		rec := []string{
+			ms(r.At), r.Dir.String(), strconv.FormatUint(uint64(r.RNTI), 10),
+			strconv.Itoa(r.OwnPRB), strconv.Itoa(r.OtherPRB), strconv.Itoa(r.MCS),
+			strconv.Itoa(r.TBSBits), strconv.Itoa(r.UsedBits),
+			strconv.FormatBool(r.HARQRetx), strconv.FormatBool(r.RLCRetx),
+			strconv.FormatBool(r.Proactive), strconv.FormatBool(r.Unused),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteStatsCSV writes the 50 ms WebRTC stats series.
+func WriteStatsCSV(w io.Writer, set *Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"at_ms", "side", "inbound_fps", "outbound_fps", "outbound_height",
+		"video_jb_ms", "audio_jb_ms", "min_jb_ms", "frozen", "freeze_total_ms",
+		"concealed", "total_samples", "target_bps", "pushback_bps",
+		"outstanding_bytes", "cwnd_bytes", "gcc_state", "trend_slope", "trend_threshold", "acked_bps",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	for _, r := range set.Stats {
+		side := "remote"
+		if r.Local {
+			side = "local"
+		}
+		rec := []string{
+			ms(r.At), side, f(r.InboundFPS), f(r.OutboundFPS), strconv.Itoa(r.OutboundHeight),
+			f(r.VideoJBDelayMs), f(r.AudioJBDelayMs), f(r.MinJBDelayMs),
+			strconv.FormatBool(r.FrozenNow), f(r.FreezeTotalMs),
+			strconv.FormatUint(r.ConcealedSamples, 10), strconv.FormatUint(r.TotalSamples, 10),
+			f(r.TargetBitrateBps), f(r.PushbackRateBps),
+			strconv.Itoa(r.OutstandingBytes), strconv.Itoa(r.CongestionWindow),
+			r.GCCNetState.String(), f(r.TrendlineSlope), f(r.TrendlineThreshold), f(r.AckedBitrateBps),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVBundle writes all three CSV series through the writer factory
+// (name → destination), e.g. files "packets.csv", "dci.csv", "stats.csv".
+func WriteCSVBundle(open func(name string) (io.WriteCloser, error), set *Set) error {
+	for _, part := range []struct {
+		name  string
+		write func(io.Writer, *Set) error
+	}{
+		{"packets.csv", WritePacketsCSV},
+		{"dci.csv", WriteDCICSV},
+		{"stats.csv", WriteStatsCSV},
+	} {
+		f, err := open(part.name)
+		if err != nil {
+			return fmt.Errorf("trace: opening %s: %w", part.name, err)
+		}
+		if err := part.write(f, set); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: writing %s: %w", part.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// The on-disk trace format is JSON Lines: a header line followed by one
+// line per record, each tagged with its record type. The format is
+// deliberately simple so that captures from real tooling (NR-Scope
+// exports, pcap digests, WebRTC stats dumps) can be converted into it
+// with a few lines of scripting — this is the ingestion boundary where
+// Domino would meet real telemetry.
+
+type jsonLine struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+type jsonHeader struct {
+	CellName  string `json:"cell_name"`
+	Duration  int64  `json:"duration_us"`
+	HasGNBLog bool   `json:"has_gnb_log"`
+}
+
+// WriteJSONL serializes the set.
+func WriteJSONL(w io.Writer, set *Set) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	write := func(typ string, v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		return enc.Encode(jsonLine{Type: typ, Data: data})
+	}
+	if err := write("header", jsonHeader{CellName: set.CellName, Duration: int64(set.Duration), HasGNBLog: set.HasGNBLog}); err != nil {
+		return err
+	}
+	for _, r := range set.DCI {
+		if err := write("dci", r); err != nil {
+			return err
+		}
+	}
+	for _, r := range set.GNBLogs {
+		if err := write("gnb", r); err != nil {
+			return err
+		}
+	}
+	for _, r := range set.Packets {
+		if err := write("pkt", r); err != nil {
+			return err
+		}
+	}
+	for _, r := range set.Stats {
+		if err := write("stats", r); err != nil {
+			return err
+		}
+	}
+	for _, r := range set.RRC {
+		if err := write("rrc", r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL deserializes a set written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Set, error) {
+	set := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		var line jsonLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		switch line.Type {
+		case "header":
+			var h jsonHeader
+			if err := json.Unmarshal(line.Data, &h); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			set.CellName = h.CellName
+			set.Duration = sim.Time(h.Duration)
+			set.HasGNBLog = h.HasGNBLog
+			sawHeader = true
+		case "dci":
+			var v DCIRecord
+			if err := json.Unmarshal(line.Data, &v); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			set.DCI = append(set.DCI, v)
+		case "gnb":
+			var v GNBLogRecord
+			if err := json.Unmarshal(line.Data, &v); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			set.GNBLogs = append(set.GNBLogs, v)
+		case "pkt":
+			var v PacketRecord
+			if err := json.Unmarshal(line.Data, &v); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			set.Packets = append(set.Packets, v)
+		case "stats":
+			var v WebRTCStatsRecord
+			if err := json.Unmarshal(line.Data, &v); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			set.Stats = append(set.Stats, v)
+		case "rrc":
+			var v RRCRecord
+			if err := json.Unmarshal(line.Data, &v); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			set.RRC = append(set.RRC, v)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record type %q", lineNo, line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: missing header line")
+	}
+	set.Sort()
+	return set, nil
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/domino5g/domino/internal/netem"
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// Set is a merged cross-layer trace: everything Domino needs to analyze
+// one session. Collectors append during simulation; Sort fixes ordering
+// before analysis.
+type Set struct {
+	// Meta describes the capture.
+	CellName string
+	Duration sim.Time
+
+	DCI     []DCIRecord
+	GNBLogs []GNBLogRecord
+	Packets []PacketRecord
+	Stats   []WebRTCStatsRecord
+	RRC     []RRCRecord
+
+	// HasGNBLog mirrors the paper's data availability: commercial
+	// cells expose no RLC-layer information, so RLC-retx detection is
+	// disabled on them.
+	HasGNBLog bool
+}
+
+// Sort orders every series by timestamp. Analysis assumes sorted input.
+func (s *Set) Sort() {
+	sort.SliceStable(s.DCI, func(i, j int) bool { return s.DCI[i].At < s.DCI[j].At })
+	sort.SliceStable(s.GNBLogs, func(i, j int) bool { return s.GNBLogs[i].At < s.GNBLogs[j].At })
+	sort.SliceStable(s.Packets, func(i, j int) bool { return s.Packets[i].SentAt < s.Packets[j].SentAt })
+	sort.SliceStable(s.Stats, func(i, j int) bool { return s.Stats[i].At < s.Stats[j].At })
+	sort.SliceStable(s.RRC, func(i, j int) bool { return s.RRC[i].At < s.RRC[j].At })
+}
+
+// EventCounts summarizes record volumes (the Table 1 "event rate"
+// columns).
+type EventCounts struct {
+	DCI     int
+	GNBLog  int
+	Packets int
+	WebRTC  int
+}
+
+// Counts returns record counts per source.
+func (s *Set) Counts() EventCounts {
+	return EventCounts{DCI: len(s.DCI), GNBLog: len(s.GNBLogs), Packets: len(s.Packets), WebRTC: len(s.Stats)}
+}
+
+// RatePerMinute converts a count into a per-minute event rate over the
+// set's duration.
+func (s *Set) RatePerMinute(count int) float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(count) / s.Duration.Seconds() * 60
+}
+
+// PacketDelays returns the one-way delay series (ms) for packets of the
+// given direction and kinds, ordered by send time.
+func (s *Set) PacketDelays(dir netem.Direction, kinds ...netem.MediaKind) []float64 {
+	match := func(k netem.MediaKind) bool {
+		if len(kinds) == 0 {
+			return true
+		}
+		for _, kk := range kinds {
+			if k == kk {
+				return true
+			}
+		}
+		return false
+	}
+	var out []float64
+	for _, p := range s.Packets {
+		if p.Dir == dir && match(p.Kind) {
+			out = append(out, p.Delay().Milliseconds())
+		}
+	}
+	return out
+}
+
+// StatsSide returns the stats series for one client.
+func (s *Set) StatsSide(local bool) []WebRTCStatsRecord {
+	var out []WebRTCStatsRecord
+	for _, r := range s.Stats {
+		if r.Local == local {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Validate performs consistency checks a downstream consumer relies on:
+// sorted series and sane timestamps. It returns the first problem found.
+func (s *Set) Validate() error {
+	for i := 1; i < len(s.DCI); i++ {
+		if s.DCI[i].At < s.DCI[i-1].At {
+			return fmt.Errorf("trace: DCI records unsorted at index %d", i)
+		}
+	}
+	for i := 1; i < len(s.Stats); i++ {
+		if s.Stats[i].At < s.Stats[i-1].At {
+			return fmt.Errorf("trace: stats records unsorted at index %d", i)
+		}
+	}
+	for i, p := range s.Packets {
+		if p.Arrived < p.SentAt {
+			return fmt.Errorf("trace: packet %d arrives before it is sent", i)
+		}
+	}
+	if s.Duration < 0 {
+		return fmt.Errorf("trace: negative duration")
+	}
+	return nil
+}
+
+// Collector implements the observer interfaces of the RAN and RTC
+// layers and accumulates a Set.
+type Collector struct {
+	Set Set
+}
+
+// NewCollector returns a collector for the named cell.
+func NewCollector(cellName string, hasGNBLog bool) *Collector {
+	return &Collector{Set: Set{CellName: cellName, HasGNBLog: hasGNBLog}}
+}
+
+// OnDCI records a scheduling event.
+func (c *Collector) OnDCI(r DCIRecord) { c.Set.DCI = append(c.Set.DCI, r) }
+
+// OnGNBLog records a base-station log line.
+func (c *Collector) OnGNBLog(r GNBLogRecord) {
+	if c.Set.HasGNBLog {
+		c.Set.GNBLogs = append(c.Set.GNBLogs, r)
+	}
+}
+
+// OnPacket records a delivered packet.
+func (c *Collector) OnPacket(r PacketRecord) { c.Set.Packets = append(c.Set.Packets, r) }
+
+// OnStats records a WebRTC stats sample.
+func (c *Collector) OnStats(r WebRTCStatsRecord) { c.Set.Stats = append(c.Set.Stats, r) }
+
+// OnRRC records an RRC transition.
+func (c *Collector) OnRRC(r RRCRecord) { c.Set.RRC = append(c.Set.RRC, r) }
