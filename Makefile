@@ -1,0 +1,30 @@
+# Local entry points mirroring .github/workflows/ci.yml — `make ci`
+# runs exactly what CI runs.
+
+GO ?= go
+
+.PHONY: build vet fmt fmt-check test bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt rewrites files in place; fmt-check (used by ci) only complains.
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: regenerates every paper artifact
+# through the batch engine (sequential and parallel) as a smoke test.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build vet fmt-check test bench

@@ -1,6 +1,8 @@
 package domino
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -30,6 +32,53 @@ func benchExperiment(b *testing.B, id string) {
 		if len(res.Text) == 0 {
 			b.Fatal("empty artifact")
 		}
+	}
+}
+
+// benchRunAll regenerates every artifact through the batch engine with
+// the given worker-pool width; the sequential/parallel pair below is
+// the headline scaling comparison (artifact text is identical in both,
+// only the wall clock moves).
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	opts := experiments.Options{Duration: benchDuration, Seed: 1, Sessions: 1, Workers: workers}
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunAll(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(experiments.IDs()) {
+			b.Fatalf("got %d artifacts, want %d", len(results), len(experiments.IDs()))
+		}
+	}
+}
+
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B)   { benchRunAll(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkAnalyzeBatch measures the concurrent batch analyzer over
+// eight independent 10 s traces.
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	sets := make([]*trace.Set, 8)
+	for i := range sets {
+		sess, err := rtc.NewSession(rtc.DefaultSessionConfig(ran.Amarisoft(), uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets[i] = sess.Run(10 * sim.Second)
+	}
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := analyzer.AnalyzeBatch(workers, sets...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

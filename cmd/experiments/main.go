@@ -3,16 +3,23 @@
 //
 // Usage:
 //
-//	experiments                  # run everything
-//	experiments fig10 table2     # run selected artifacts
+//	experiments                  # run everything, sequentially
+//	experiments -parallel        # run everything across all cores
+//	experiments -workers 4 fig10 table2
 //	experiments -duration 120 -sessions 2 fig10
 //	experiments -list
+//
+// Artifact text is deterministic in -seed and independent of the
+// worker count; stdout is byte-identical between sequential and
+// parallel runs. Per-artifact wall-clock times go to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/domino5g/domino/internal/experiments"
 	"github.com/domino5g/domino/internal/sim"
@@ -22,6 +29,8 @@ func main() {
 	duration := flag.Int("duration", 60, "per-session call duration in seconds")
 	sessions := flag.Int("sessions", 1, "sessions per cell for aggregate statistics")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 1, "worker-pool width (0 = all cores)")
+	par := flag.Bool("parallel", false, "shorthand for -workers 0: use all cores")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -32,25 +41,60 @@ func main() {
 		return
 	}
 
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+	w := *workers
+	if (*par && !workersSet) || w <= 0 {
+		// -parallel is shorthand for "all cores" but an explicit
+		// -workers N always wins.
+		w = runtime.GOMAXPROCS(0)
+	}
 	opts := experiments.Options{
 		Duration: sim.Time(*duration) * sim.Second,
 		Sessions: *sessions,
 		Seed:     *seed,
+		Workers:  w,
 	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		res, err := experiments.Run(id, opts)
+	start := time.Now()
+	if w == 1 {
+		// Sequential runs stream each artifact as it completes, so
+		// long regenerations show progress and a late failure keeps
+		// the artifacts already printed.
+		for _, id := range ids {
+			res, err := experiments.Run(id, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+			printResult(res)
+		}
+	} else {
+		results, err := experiments.RunParallel(ids, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("### %s\n", res.Title)
-		fmt.Printf("    [%s]\n\n", res.PaperRef)
-		fmt.Println(res.Text)
-		fmt.Println()
+		for _, res := range results {
+			printResult(res)
+		}
 	}
+	fmt.Fprintf(os.Stderr, "%-10s %8.3fs  (%d artifacts, %d workers)\n",
+		"wall", time.Since(start).Seconds(), len(ids), w)
+}
+
+func printResult(res experiments.Result) {
+	fmt.Printf("### %s\n", res.Title)
+	fmt.Printf("    [%s]\n\n", res.PaperRef)
+	fmt.Println(res.Text)
+	fmt.Println()
+	fmt.Fprintf(os.Stderr, "%-10s %8.3fs\n", res.ID, res.Elapsed.Seconds())
 }

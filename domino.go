@@ -58,9 +58,18 @@ const DefaultChainsText = core.DefaultChainsText
 const Second = sim.Second
 
 // NewAnalyzer builds an analyzer; nil graph selects the default Fig. 9
-// graph and a zero config the paper's Table 5 thresholds.
+// graph and a zero config the paper's Table 5 thresholds. The returned
+// Analyzer is immutable and safe for concurrent use.
 func NewAnalyzer(cfg DetectorConfig, g *Graph) (*Analyzer, error) {
 	return core.NewAnalyzer(cfg, g)
+}
+
+// AnalyzeBatch analyzes independent trace sets concurrently across the
+// given number of workers (<= 0 selects GOMAXPROCS). Report i always
+// corresponds to sets[i], so the output is identical to calling
+// a.Analyze in a sequential loop — only faster on multi-core.
+func AnalyzeBatch(a *Analyzer, workers int, sets ...*TraceSet) ([]*Report, error) {
+	return a.AnalyzeBatch(workers, sets...)
 }
 
 // ParseChains parses causal-chain DSL text.

@@ -61,6 +61,53 @@ func TestPublicAPIPipeline(t *testing.T) {
 	}
 }
 
+// TestAnalyzeBatchConcurrent drives one shared Analyzer over several
+// independent traces concurrently and checks the batch output is
+// position-for-position identical to sequential Analyze calls. Run
+// under -race (as CI does) this also proves the documented claim that
+// an Analyzer is safe for concurrent use.
+func TestAnalyzeBatchConcurrent(t *testing.T) {
+	analyzer, err := NewAnalyzer(DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presets := Presets()
+	sets := make([]*TraceSet, len(presets))
+	for i, cell := range presets {
+		sess, err := NewSession(DefaultSessionConfig(cell, uint64(31+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[i] = sess.Run(10 * Second)
+	}
+	batch, err := AnalyzeBatch(analyzer, len(sets), sets...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(sets) {
+		t.Fatalf("got %d reports, want %d", len(batch), len(sets))
+	}
+	for i, set := range sets {
+		seq, err := analyzer.Analyze(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].CellName != set.CellName {
+			t.Fatalf("report %d is for %q, want %q", i, batch[i].CellName, set.CellName)
+		}
+		if batch[i].TotalChainEvents() != seq.TotalChainEvents() {
+			t.Fatalf("report %d: batch found %d chain events, sequential %d",
+				i, batch[i].TotalChainEvents(), seq.TotalChainEvents())
+		}
+		for _, node := range append(CauseClasses(), ConsequenceClasses()...) {
+			if batch[i].EventCount(node) != seq.EventCount(node) {
+				t.Fatalf("report %d node %s: batch %d events, sequential %d",
+					i, node, batch[i].EventCount(node), seq.EventCount(node))
+			}
+		}
+	}
+}
+
 func TestPublicChainParsing(t *testing.T) {
 	g, err := ParseChainsString(DefaultChainsText)
 	if err != nil {

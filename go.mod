@@ -1,0 +1,3 @@
+module github.com/domino5g/domino
+
+go 1.22

@@ -3,12 +3,19 @@ package core
 import (
 	"fmt"
 
+	"github.com/domino5g/domino/internal/parallel"
 	"github.com/domino5g/domino/internal/sim"
 	"github.com/domino5g/domino/internal/trace"
 )
 
 // Analyzer is the Domino detection engine: window geometry + event
 // thresholds + causal graph.
+//
+// An Analyzer is immutable after NewAnalyzer and safe for concurrent
+// use: Analyze only reads the configuration and graph and builds all
+// per-trace state locally, so one Analyzer may serve any number of
+// goroutines (see AnalyzeBatch). Callers must not mutate the Graph
+// passed to NewAnalyzer afterwards.
 type Analyzer struct {
 	cfg    DetectorConfig
 	graph  *Graph
@@ -177,6 +184,27 @@ func (a *Analyzer) Analyze(set *trace.Set) (*Report, error) {
 		rep.ChainEvents[id] = append(rep.ChainEvents[id], *r)
 	}
 	return rep, nil
+}
+
+// AnalyzeBatch analyzes independent trace sets concurrently across the
+// given number of workers (<= 0 selects GOMAXPROCS) and returns the
+// reports in input order. Report i is always sets[i]'s report, so the
+// output is identical to calling Analyze in a loop; on failure the
+// error of the lowest-index failing set is returned.
+func (a *Analyzer) AnalyzeBatch(workers int, sets ...*trace.Set) ([]*Report, error) {
+	out := make([]*Report, len(sets))
+	err := parallel.ForEach(workers, len(sets), func(i int) error {
+		rep, err := a.Analyze(sets[i])
+		if err != nil {
+			return fmt.Errorf("core: set %d (%s): %w", i, sets[i].CellName, err)
+		}
+		out[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // EventCount returns the number of collapsed event runs for a node.

@@ -163,11 +163,12 @@ func fig13(o Options) (Result, error) {
 // intra-frame arrival spread.
 func fig14(o Options) (Result, error) {
 	tb := stats.NewTable("Cell", "UL TBs/min", "median TB bytes", "frame delay-spread p50 (ms)", "p90")
-	for _, cfg := range []ran.CellConfig{ran.TMobileTDD(), ran.TMobileFDD(), ran.Amarisoft()} {
-		_, set, err := runCellSession(cfg, o.Duration, o.Seed)
-		if err != nil {
-			return Result{}, err
-		}
+	runs, err := runPresetSessions([]ran.CellConfig{ran.TMobileTDD(), ran.TMobileFDD(), ran.Amarisoft()}, o)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, run := range runs {
+		cfg, set := run.Cfg, run.Set
 		var tbBytes []float64
 		tbs := 0
 		for _, r := range set.DCI {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/parallel"
 	"github.com/domino5g/domino/internal/ran"
 	"github.com/domino5g/domino/internal/stats"
 )
@@ -18,25 +19,41 @@ func init() {
 }
 
 // analyzeGroup runs Domino over sessions on the given presets and
-// merges the reports.
+// merges the reports. The (preset × session) grid fans out across
+// o.Workers workers — one shared Analyzer serves all of them (it is
+// safe for concurrent use) — and reports merge in grid order, so the
+// aggregate is byte-identical whatever the worker count.
 func analyzeGroup(presets []ran.CellConfig, o Options) (*core.Report, error) {
 	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
 	if err != nil {
 		return nil, err
 	}
-	var reports []*core.Report
-	for i, cfg := range presets {
+	type job struct {
+		cfg     ran.CellConfig
+		session int
+	}
+	jobs := make([]job, 0, len(presets)*o.Sessions)
+	for _, cfg := range presets {
 		for s := 0; s < o.Sessions; s++ {
-			_, set, err := runCellSession(cfg, o.Duration, o.Seed+uint64(i*97+s*31))
-			if err != nil {
-				return nil, err
-			}
-			rep, err := analyzer.Analyze(set)
-			if err != nil {
-				return nil, err
-			}
-			reports = append(reports, rep)
+			jobs = append(jobs, job{cfg: cfg, session: s})
 		}
+	}
+	reports := make([]*core.Report, len(jobs))
+	err = parallel.ForEach(o.Workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		_, set, err := runCellSession(j.cfg, o.Duration, DeriveSeed(o.Seed, j.cfg.Name, j.session))
+		if err != nil {
+			return fmt.Errorf("%s session %d: %w", j.cfg.Name, j.session, err)
+		}
+		rep, err := analyzer.Analyze(set)
+		if err != nil {
+			return fmt.Errorf("%s session %d: %w", j.cfg.Name, j.session, err)
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return core.MergeReports(reports), nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/domino5g/domino/internal/sim"
 )
@@ -24,11 +25,21 @@ type Options struct {
 	// Duration is the per-session call length (default 60 s; the
 	// paper's calls are 30 min).
 	Duration sim.Time
-	// Seed anchors all randomness.
+	// Seed anchors all randomness. Experiments that fan sessions out
+	// (the preset and preset×session aggregates) derive each session's
+	// stream via DeriveSeed(Seed, cellName, sessionIdx); single-session
+	// case studies use Seed directly. Either way the inputs are stable
+	// keys, so artifacts are byte-identical for a given Seed regardless
+	// of Workers.
 	Seed uint64
 	// Sessions is the number of calls per cell for aggregate
 	// statistics (default 1; the paper used 14 across 4 cells).
 	Sessions int
+	// Workers is the worker-pool width used both to fan experiments
+	// out in RunAll/RunParallel and to fan sessions out inside a
+	// single experiment. Default 1 (fully sequential); any value
+	// produces identical artifact text for the same Seed.
+	Workers int
 }
 
 // Defaults fills zero fields.
@@ -42,6 +53,9 @@ func (o Options) Defaults() Options {
 	if o.Sessions <= 0 {
 		o.Sessions = 1
 	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
 	return o
 }
 
@@ -52,8 +66,14 @@ type Result struct {
 	// PaperRef summarizes what the paper reports, for side-by-side
 	// comparison in EXPERIMENTS.md.
 	PaperRef string
-	// Text is the regenerated table/series.
+	// Text is the regenerated table/series. Deterministic in
+	// (Options.Seed, Options.Duration, Options.Sessions) and
+	// independent of Options.Workers.
 	Text string
+	// Elapsed is the wall-clock time regenerating this artifact took.
+	// It is reporting metadata only and excluded from determinism
+	// guarantees.
+	Elapsed time.Duration
 }
 
 // Runner regenerates one artifact.
@@ -73,8 +93,8 @@ func register(id string, r Runner) {
 // IDs returns all experiment IDs in registration order.
 func IDs() []string { return append([]string(nil), registryOrder...) }
 
-// Run executes one experiment by ID.
-func Run(id string, opts Options) (Result, error) {
+// lookup resolves an experiment ID.
+func lookup(id string) (Runner, error) {
 	r, ok := registry[id]
 	if !ok {
 		var known []string
@@ -82,20 +102,23 @@ func Run(id string, opts Options) (Result, error) {
 			known = append(known, k)
 		}
 		sort.Strings(known)
-		return Result{}, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
 	}
-	return r(opts.Defaults())
+	return r, nil
 }
 
-// RunAll executes every experiment in order.
-func RunAll(opts Options) ([]Result, error) {
-	var out []Result
-	for _, id := range registryOrder {
-		res, err := Run(id, opts)
-		if err != nil {
-			return out, fmt.Errorf("experiments: %s: %w", id, err)
-		}
-		out = append(out, res)
+// Run executes one experiment by ID.
+func Run(id string, opts Options) (Result, error) {
+	out, err := RunParallel([]string{id}, opts)
+	if err != nil {
+		return Result{}, err
 	}
-	return out, nil
+	return out[0], nil
+}
+
+// RunAll executes every experiment, fanning out across opts.Workers
+// workers; results come back in registration order regardless of
+// completion order.
+func RunAll(opts Options) ([]Result, error) {
+	return RunParallel(IDs(), opts)
 }

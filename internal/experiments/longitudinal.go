@@ -20,11 +20,12 @@ func init() {
 func fig8(o Options) (Result, error) {
 	var b strings.Builder
 	media := []netem.MediaKind{netem.KindVideo, netem.KindAudio}
-	for _, cfg := range ran.Presets() {
-		s, set, err := runCellSession(cfg, o.Duration, o.Seed)
-		if err != nil {
-			return Result{}, err
-		}
+	runs, err := runPresetSessions(ran.Presets(), o)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, run := range runs {
+		cfg, s, set := run.Cfg, run.Sess, run.Set
 		fmt.Fprintf(&b, "== %s ==\n", cfg.Name)
 		tb := stats.NewTable("Metric", "UL p50", "UL p90", "DL p50", "DL p90")
 
@@ -66,11 +67,12 @@ func fig8(o Options) (Result, error) {
 // table3 regenerates Table 3: video resolution distribution per cell.
 func table3(o Options) (Result, error) {
 	tb := stats.NewTable("Cell", "Stream", "180p", "360p", "540p", "720p", "1080p")
-	for _, cfg := range ran.Presets() {
-		s, _, err := runCellSession(cfg, o.Duration, o.Seed)
-		if err != nil {
-			return Result{}, err
-		}
+	runs, err := runPresetSessions(ran.Presets(), o)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, run := range runs {
+		cfg, s := run.Cfg, run.Sess
 		add := func(stream string, shares map[rtc.Resolution]float64) {
 			tb.AddRow(cfg.Name, stream,
 				shares[rtc.Res180], shares[rtc.Res360], shares[rtc.Res540],

@@ -46,11 +46,12 @@ func runWiredSession(duration sim.Time, seed uint64) (*rtc.WiredSession, *trace.
 // table1 regenerates Table 1: per-cell telemetry event rates.
 func table1(o Options) (Result, error) {
 	tb := stats.NewTable("Dataset", "Type", "Duplex", "DCI/min", "gNB/min", "Pkt/min", "WebRTC/min")
-	for _, cfg := range ran.Presets() {
-		_, set, err := runCellSession(cfg, o.Duration, o.Seed)
-		if err != nil {
-			return Result{}, err
-		}
+	runs, err := runPresetSessions(ran.Presets(), o)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, run := range runs {
+		cfg, set := run.Cfg, run.Set
 		c := set.Counts()
 		typ := "Public"
 		if cfg.HasGNBLog || cfg.Name == "Mosolabs 20MHz TDD" {

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/domino5g/domino/internal/parallel"
+	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/rtc"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+// DeriveSeed maps (base seed, cell name, session index) to the seed of
+// one simulated session. The derivation depends only on stable keys —
+// never on scheduling or iteration order — which is what makes the
+// worker-pool fan-out byte-identical to the sequential path: each
+// session's randomness is fixed the moment its identity is known.
+//
+// The result is base ⊕ FNV-1a64(cellName ‖ sessionIdx), nudged away
+// from zero because this package reserves a zero seed as "unset"
+// (Options.Defaults replaces it), so no derived seed should collide
+// with that sentinel.
+func DeriveSeed(base uint64, cellName string, sessionIdx int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(cellName))
+	var idx [8]byte
+	binary.LittleEndian.PutUint64(idx[:], uint64(sessionIdx))
+	h.Write(idx[:])
+	s := base ^ h.Sum64()
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15 // golden-ratio constant; any fixed nonzero value works
+	}
+	return s
+}
+
+// RunParallel executes the given experiments across opts.Workers
+// workers and returns their results in the order the IDs were given.
+// All IDs are validated up front so an unknown ID fails fast without
+// burning simulation time; a runner failure surfaces as the error of
+// the lowest failing ID, matching the sequential path.
+func RunParallel(ids []string, opts Options) ([]Result, error) {
+	runners := make([]Runner, len(ids))
+	for i, id := range ids {
+		r, err := lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		runners[i] = r
+	}
+	return runRunners(ids, runners, opts)
+}
+
+// runRunners is the worker-pool core of RunParallel, split out so tests
+// can inject failing runners without touching the registry.
+//
+// Workers is a total budget, not a per-level width: when several
+// experiments run concurrently, the per-experiment session fan-out is
+// narrowed so outer × inner stays near opts.Workers instead of
+// squaring it. When the budget exceeds the experiment count the
+// spare width rounds up into the inner pools (modest, bounded
+// oversubscription); with workers <= len(ids) the inner width is 1
+// and the tail of a batch — one slow experiment left — runs its
+// sessions sequentially, a known cost of the static split. Worker
+// counts never affect artifact bytes, so the split is free to change.
+func runRunners(ids []string, runners []Runner, opts Options) ([]Result, error) {
+	opts = opts.Defaults()
+	inner := opts
+	if len(ids) > 1 && opts.Workers > 1 {
+		outer := opts.Workers
+		if outer > len(ids) {
+			outer = len(ids)
+		}
+		inner.Workers = (opts.Workers + outer - 1) / outer
+	}
+	out := make([]Result, len(ids))
+	err := parallel.ForEach(opts.Workers, len(ids), func(i int) error {
+		start := time.Now()
+		res, err := runners[i](inner)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", ids[i], err)
+		}
+		res.Elapsed = time.Since(start)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// cellRun is one completed simulated call on a preset.
+type cellRun struct {
+	Cfg  ran.CellConfig
+	Sess *rtc.Session
+	Set  *trace.Set
+}
+
+// runPresetSessions simulates one call per preset, fanned out across
+// o.Workers workers. Slot i always holds preset i's run and each run's
+// seed derives from the preset name, so the assembled slice — and any
+// artifact rendered from it in slot order — is independent of worker
+// count.
+func runPresetSessions(presets []ran.CellConfig, o Options) ([]cellRun, error) {
+	out := make([]cellRun, len(presets))
+	err := parallel.ForEach(o.Workers, len(presets), func(i int) error {
+		cfg := presets[i]
+		s, set, err := runCellSession(cfg, o.Duration, DeriveSeed(o.Seed, cfg.Name, 0))
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		out[i] = cellRun{Cfg: cfg, Sess: s, Set: set}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+// Package parallel provides the deterministic worker-pool primitive
+// underlying the experiment engine and the batch analyzer: indexed
+// fan-out whose observable results are independent of worker count.
+//
+// Determinism contract: ForEach gives every index its own output slot
+// (the callback writes results keyed by index, never by completion
+// order), runs every index exactly once on success, and reports the
+// error of the lowest failing index. A caller that derives all
+// per-index randomness from the index itself — not from shared mutable
+// state — therefore produces byte-identical results whether workers is
+// 1 or GOMAXPROCS.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0..n-1) across the given number of workers and waits
+// for all of them. workers <= 0 selects runtime.GOMAXPROCS(0); a single
+// worker degenerates to a plain sequential loop with no goroutines.
+//
+// Failures fail fast without giving up determinism: indices are
+// dispatched in increasing order, so every index below the lowest
+// failing one is guaranteed to run, the lowest failing index itself
+// always runs (nothing lower exists to cancel it), and its error is
+// the one returned; indices above a known failure may be skipped.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next      atomic.Int64
+		failedIdx atomic.Int64
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+	)
+	failedIdx.Store(int64(n))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int64(next.Add(1)) - 1
+				if i >= int64(n) || i > failedIdx.Load() {
+					return
+				}
+				if err := fn(int(i)); err != nil {
+					mu.Lock()
+					if i < failedIdx.Load() {
+						failedIdx.Store(i)
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
