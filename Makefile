@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check test bench ci
+.PHONY: build vet fmt fmt-check test bench dominod-smoke ci
 
 build:
 	$(GO) build ./...
@@ -27,4 +27,10 @@ test:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build vet fmt-check test bench
+# End-to-end smoke of the live ingest service: start dominod, POST 8
+# concurrent generated session streams, assert each /report/{id}
+# matches batch analysis of the same trace.
+dominod-smoke:
+	$(GO) test ./cmd/dominod -run 'TestDominodSmoke' -count=1 -v
+
+ci: build vet fmt-check test bench dominod-smoke

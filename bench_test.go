@@ -1,7 +1,9 @@
 package domino
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"testing"
@@ -11,6 +13,7 @@ import (
 	"github.com/domino5g/domino/internal/ran"
 	"github.com/domino5g/domino/internal/rtc"
 	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/stream"
 	"github.com/domino5g/domino/internal/trace"
 )
 
@@ -80,6 +83,68 @@ func BenchmarkAnalyzeBatch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStreamAnalyzer compares the incremental analyzer against
+// batch analysis on one 10 s session: records/s is ingest throughput,
+// max-buffered-samples the peak trace state each path holds (the
+// streaming path's O(window) bound versus the batch path's O(trace)).
+func BenchmarkStreamAnalyzer(b *testing.B) {
+	sess, err := rtc.NewSession(rtc.DefaultSessionConfig(ran.Amarisoft(), 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := sess.Run(10 * sim.Second)
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, set); err != nil {
+		b.Fatal(err)
+	}
+	sr := trace.NewStreamReader(bytes.NewReader(buf.Bytes()))
+	var records []trace.Record
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = append(records, rec)
+	}
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	totalSamples := float64(len(records) - 1) // minus header
+
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		var peak int
+		for i := 0; i < b.N; i++ {
+			sa := stream.New(analyzer, stream.Config{})
+			for _, rec := range records {
+				if err := sa.Push(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := sa.Close(); err != nil {
+				b.Fatal(err)
+			}
+			peak = sa.Stats().MaxBuffered
+		}
+		b.ReportMetric(totalSamples*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		b.ReportMetric(float64(peak), "max-buffered-samples")
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := analyzer.Analyze(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(totalSamples*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		b.ReportMetric(totalSamples, "max-buffered-samples")
+	})
 }
 
 func BenchmarkTable1DatasetRates(b *testing.B)    { benchExperiment(b, "table1") }

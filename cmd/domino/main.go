@@ -8,33 +8,55 @@
 //
 // Without -graph the paper's default Fig. 9 graph (24 chains) is used.
 // -codegen writes the generated Go detector for the graph and exits.
+//
+// The trace is streamed through the incremental analyzer
+// (trace.NewStreamReader + domino.StreamRecords): only the sliding
+// detection window is buffered, never the whole trace, so arbitrarily
+// long captures analyze in O(window) memory. Traces written by current
+// tooling are time-ordered and stream directly; a type-grouped legacy
+// file is rejected with a late-record error — rewrite it with the
+// current writer (read + write once) to make it streamable.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/domino5g/domino"
 )
 
 func main() {
-	tracePath := flag.String("trace", "", "path to a JSONL trace set (required unless -codegen)")
-	graphPath := flag.String("graph", "", "path to a causal-chain DSL file (default: built-in Fig. 9 graph)")
-	codegen := flag.String("codegen", "", "write the generated Go detector to this path and exit")
-	verbose := flag.Bool("v", false, "print per-window chain matches")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("domino", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tracePath := fs.String("trace", "", "path to a JSONL trace set (required unless -codegen)")
+	graphPath := fs.String("graph", "", "path to a causal-chain DSL file (default: built-in Fig. 9 graph)")
+	codegen := fs.String("codegen", "", "write the generated Go detector to this path and exit")
+	verbose := fs.Bool("v", false, "print per-window chain matches")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "domino:", err)
+		return 1
+	}
 
 	graph := domino.DefaultGraph()
 	if *graphPath != "" {
 		f, err := os.Open(*graphPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		g, err := domino.ParseChains(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("parsing %s: %w", *graphPath, err))
+			return fail(fmt.Errorf("parsing %s: %w", *graphPath, err))
 		}
 		graph = g
 	}
@@ -42,78 +64,71 @@ func main() {
 	if *codegen != "" {
 		src := domino.GenerateGo(graph, "detect")
 		if err := os.WriteFile(*codegen, []byte(src), 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("wrote generated detector (%d chains) to %s\n", len(graph.EnumerateChains()), *codegen)
-		return
+		fmt.Fprintf(stdout, "wrote generated detector (%d chains) to %s\n", len(graph.EnumerateChains()), *codegen)
+		return 0
 	}
 
 	if *tracePath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "domino: -trace is required unless -codegen is given")
+		fs.Usage()
+		return 2
 	}
 	f, err := os.Open(*tracePath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	set, err := domino.ReadTrace(f)
-	f.Close()
-	if err != nil {
-		fatal(fmt.Errorf("reading trace: %w", err))
-	}
-
 	analyzer, err := domino.NewAnalyzer(domino.DetectorConfig{}, graph)
 	if err != nil {
-		fatal(err)
+		f.Close()
+		return fail(err)
 	}
-	report, err := analyzer.Analyze(set)
+	report, err := domino.StreamRecords(f, domino.NewStreamAnalyzer(analyzer, domino.StreamConfig{}))
+	f.Close()
 	if err != nil {
-		fatal(err)
+		return fail(fmt.Errorf("streaming trace: %w", err))
 	}
 
-	fmt.Printf("trace: %s (%v, %d chains configured)\n\n", set.CellName, set.Duration, len(analyzer.Chains()))
-	fmt.Println("5G causes (events/min):")
+	fmt.Fprintf(stdout, "trace: %s (%v, %d chains configured)\n\n", report.CellName, report.Duration, len(analyzer.Chains()))
+	fmt.Fprintln(stdout, "5G causes (events/min):")
 	for _, c := range domino.CauseClasses() {
-		fmt.Printf("  %-18s %6.2f\n", c, report.EventsPerMinute(c))
+		fmt.Fprintf(stdout, "  %-18s %6.2f\n", c, report.EventsPerMinute(c))
 	}
-	fmt.Println("\nWebRTC consequences (events/min):")
+	fmt.Fprintln(stdout, "\nWebRTC consequences (events/min):")
 	for _, c := range domino.ConsequenceClasses() {
-		fmt.Printf("  %-22s %6.2f\n", c, report.EventsPerMinute(c))
+		fmt.Fprintf(stdout, "  %-22s %6.2f\n", c, report.EventsPerMinute(c))
 	}
-	fmt.Printf("\ndegradation events/min: %.2f\n",
+	fmt.Fprintf(stdout, "\ndegradation events/min: %.2f\n",
 		report.DegradationEventsPerMinute(domino.ConsequenceClasses()))
 
-	fmt.Println("\ntop matched chains:")
+	fmt.Fprintln(stdout, "\ntop matched chains:")
 	for _, cc := range report.TopChains(10) {
-		fmt.Printf("  %4d×  %s\n", cc.Events, cc.Chain.String())
+		fmt.Fprintf(stdout, "  %4d×  %s\n", cc.Events, cc.Chain.String())
 	}
 
 	probs := report.ConditionalProbabilities(domino.CauseClasses(), domino.ConsequenceClasses())
-	fmt.Println("\nP(cause | consequence):")
+	fmt.Fprintln(stdout, "\nP(cause | consequence):")
 	for _, cons := range domino.ConsequenceClasses() {
-		fmt.Printf("  %s:\n", cons)
+		fmt.Fprintf(stdout, "  %s:\n", cons)
 		for _, cause := range domino.CauseClasses() {
 			if p := probs[cons][cause]; p > 0 {
-				fmt.Printf("    %-18s %5.1f%%\n", cause, p*100)
+				fmt.Fprintf(stdout, "    %-18s %5.1f%%\n", cause, p*100)
 			}
 		}
 		if p := probs[cons]["unknown"]; p > 0 {
-			fmt.Printf("    %-18s %5.1f%%\n", "unknown", p*100)
+			fmt.Fprintf(stdout, "    %-18s %5.1f%%\n", "unknown", p*100)
 		}
 	}
 
 	if *verbose {
-		fmt.Println("\nper-window matches:")
+		fmt.Fprintln(stdout, "\nper-window matches:")
 		for _, w := range report.Windows {
 			if len(w.ChainIDs) == 0 {
 				continue
 			}
-			fmt.Printf("  [%v, %v) chains=%v causes=%v\n", w.Vector.Start, w.Vector.End, w.ChainIDs, w.Causes)
+			fmt.Fprintf(stdout, "  [%v, %v) chains=%v causes=%v\n", w.Vector.Start, w.Vector.End, w.ChainIDs, w.Causes)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "domino:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/domino5g/domino"
+)
+
+// writeTestTrace simulates a short call and writes its JSONL trace.
+func writeTestTrace(t *testing.T, dir string) string {
+	t.Helper()
+	cell, err := domino.PresetByName("mosolabs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := domino.NewSession(domino.DefaultSessionConfig(cell, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sess.Run(8 * domino.Second)
+	path := filepath.Join(dir, "call.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := domino.WriteTrace(f, set); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFlagValidation is the table-driven CLI contract: exit codes and
+// messages for every flag combination, including the required-flag
+// error path (missing -trace without -codegen).
+func TestFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := writeTestTrace(t, dir)
+	badGraph := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badGraph, []byte("not a chain line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	garbage := filepath.Join(dir, "garbage.jsonl")
+	if err := os.WriteFile(garbage, []byte("not jsonl\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		args       []string
+		code       int
+		wantStdout string
+		wantStderr string
+	}{
+		{
+			name:       "no args",
+			args:       nil,
+			code:       2,
+			wantStderr: "-trace is required unless -codegen",
+		},
+		{
+			name:       "missing trace with graph",
+			args:       []string{"-v"},
+			code:       2,
+			wantStderr: "Usage of domino",
+		},
+		{
+			name:       "unknown flag",
+			args:       []string{"-bogus"},
+			code:       2,
+			wantStderr: "flag provided but not defined",
+		},
+		{
+			name:       "codegen without trace is valid",
+			args:       []string{"-codegen", filepath.Join(dir, "det.go")},
+			code:       0,
+			wantStdout: "wrote generated detector (24 chains)",
+		},
+		{
+			name:       "nonexistent trace file",
+			args:       []string{"-trace", filepath.Join(dir, "nope.jsonl")},
+			code:       1,
+			wantStderr: "no such file",
+		},
+		{
+			name:       "nonexistent graph file",
+			args:       []string{"-graph", filepath.Join(dir, "nope.txt"), "-trace", tracePath},
+			code:       1,
+			wantStderr: "no such file",
+		},
+		{
+			name:       "invalid graph file",
+			args:       []string{"-graph", badGraph, "-trace", tracePath},
+			code:       1,
+			wantStderr: "parsing",
+		},
+		{
+			name:       "malformed trace",
+			args:       []string{"-trace", garbage},
+			code:       1,
+			wantStderr: "streaming trace",
+		},
+		{
+			name:       "analyze trace",
+			args:       []string{"-trace", tracePath},
+			code:       0,
+			wantStdout: "degradation events/min",
+		},
+		{
+			name:       "analyze verbose",
+			args:       []string{"-trace", tracePath, "-v"},
+			code:       0,
+			wantStdout: "trace: Mosolabs 20MHz TDD",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", code, tc.code, stdout.String(), stderr.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Fatalf("stdout missing %q:\n%s", tc.wantStdout, stdout.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestCodegenOutputCompiles-ish: the generated file must at least be
+// written and contain the package clause.
+func TestCodegenWritesDetector(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "detect.go")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-codegen", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	src, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "package detect") || !strings.Contains(string(src), "BackwardTrace") {
+		t.Fatalf("generated detector malformed:\n%.200s", src)
+	}
+}

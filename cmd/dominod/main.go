@@ -1,0 +1,563 @@
+// Command dominod is the live, operator-side Domino analysis service:
+// the always-on deployment mode the paper frames for its detector. It
+// ingests many concurrent session trace streams (JSONL over HTTP) and
+// serves per-session root-cause reports and aggregate cause-class
+// counters while the calls are still in progress, using the streaming
+// analyzer's O(window) per-session state.
+//
+// Usage:
+//
+//	dominod [-addr :8077] [-graph chains.txt] [-max-streams 64]
+//	        [-lateness 0s] [-drop-late] [-v]
+//	dominod -stdin < call.jsonl
+//
+// Endpoints:
+//
+//	POST /ingest?session=ID   chunked JSONL body; analyzed as it arrives
+//	GET  /sessions            all sessions with live summary stats
+//	GET  /report/{id}         full report (live snapshot while active)
+//	GET  /metrics             aggregate counters, Prometheus text format
+//	GET  /healthz             readiness probe
+//
+// Session bodies are analyzed record-by-record as they upload, so a
+// live collector can keep one chunked POST open for the whole call and
+// poll /report/{id} for diagnosis in flight. Admission is bounded by
+// -max-streams (a parallel.Limiter): excess uploads block until a slot
+// frees, giving natural backpressure instead of unbounded memory. With
+// -stdin the service analyzes a single session from standard input and
+// prints the final report, mirroring cmd/domino but via the streaming
+// path.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/domino5g/domino"
+	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/parallel"
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/stream"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dominod", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8077", "listen address")
+	graphPath := fs.String("graph", "", "path to a causal-chain DSL file (default: built-in Fig. 9 graph)")
+	maxStreams := fs.Int("max-streams", 64, "maximum concurrently ingesting session streams")
+	maxSessions := fs.Int("max-sessions", 1024, "retained sessions before the oldest finished ones are evicted")
+	lateness := fs.Duration("lateness", 0, "accepted record out-of-orderness (e.g. 100ms)")
+	dropLate := fs.Bool("drop-late", false, "count and drop too-late records instead of failing the stream")
+	stdin := fs.Bool("stdin", false, "analyze one session from standard input and exit")
+	verbose := fs.Bool("v", false, "log per-session lifecycle events")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	graph := domino.DefaultGraph()
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "dominod:", err)
+			return 1
+		}
+		g, err := domino.ParseChains(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "dominod: parsing %s: %v\n", *graphPath, err)
+			return 1
+		}
+		graph = g
+	}
+	analyzer, err := domino.NewAnalyzer(domino.DetectorConfig{}, graph)
+	if err != nil {
+		fmt.Fprintln(stderr, "dominod:", err)
+		return 1
+	}
+
+	srv := newServer(analyzer, serverOptions{
+		MaxStreams:  *maxStreams,
+		MaxSessions: *maxSessions,
+		Lateness:    sim.Time(*lateness / time.Microsecond),
+		DropLate:    *dropLate,
+		Log:         log.New(stderr, "dominod: ", log.LstdFlags),
+		Verbose:     *verbose,
+	})
+
+	if *stdin {
+		return srv.runStdin(os.Stdin, stdout, stderr)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	srv.log.Printf("listening on %s (%d stream slots, %d chains)", *addr, *maxStreams, len(analyzer.Chains()))
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "dominod:", err)
+		return 1
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+		srv.log.Printf("shut down")
+		return 0
+	}
+}
+
+type serverOptions struct {
+	MaxStreams  int
+	MaxSessions int
+	Lateness    sim.Time
+	DropLate    bool
+	Log         *log.Logger
+	Verbose     bool
+}
+
+// server multiplexes concurrent session streams over one shared
+// analyzer and keeps aggregate counters across them.
+type server struct {
+	analyzer *core.Analyzer
+	limiter  *parallel.Limiter
+	opts     serverOptions
+	log      *log.Logger
+
+	causeClass, consequenceClass map[string]bool
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	order    []string
+	nextID   int
+
+	// Aggregate counters (/metrics).
+	recordsTotal, windowsTotal, lateDroppedTotal atomic.Int64
+	sessionsTotal, sessionsDone, sessionsFailed  atomic.Int64
+	chainEventsTotal                             atomic.Int64
+	nodeMu                                       sync.Mutex
+	nodeEventsTotal                              map[string]int64
+}
+
+type session struct {
+	id string
+
+	mu    sync.Mutex
+	sa    *stream.Analyzer
+	state string // "active", "done", "failed"
+	err   string
+	final *core.Report
+}
+
+func newServer(analyzer *core.Analyzer, opts serverOptions) *server {
+	if opts.Log == nil {
+		opts.Log = log.New(io.Discard, "", 0)
+	}
+	s := &server{
+		analyzer:         analyzer,
+		limiter:          parallel.NewLimiter(opts.MaxStreams),
+		opts:             opts,
+		log:              opts.Log,
+		causeClass:       map[string]bool{},
+		consequenceClass: map[string]bool{},
+		sessions:         map[string]*session{},
+		nodeEventsTotal:  map[string]int64{},
+	}
+	for _, c := range domino.CauseClasses() {
+		s.causeClass[c] = true
+	}
+	for _, c := range domino.ConsequenceClasses() {
+		s.consequenceClass[c] = true
+	}
+	return s
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /sessions", s.handleSessions)
+	mux.HandleFunc("GET /report/{id}", s.handleReport)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// newStream builds one session's streaming analyzer wired into the
+// aggregate counters. Per-window results are not retained — the
+// service serves event-run statistics, so a session's report stays
+// bounded by its event runs however long the call lasts.
+func (s *server) newStream() *stream.Analyzer {
+	return stream.New(s.analyzer, stream.Config{
+		Lateness:    s.opts.Lateness,
+		DropLate:    s.opts.DropLate,
+		DropWindows: true,
+		OnWindow:    func(core.WindowResult) { s.windowsTotal.Add(1) },
+		OnNodeEvent: func(r core.EventRun) {
+			if s.causeClass[r.Node] || s.consequenceClass[r.Node] {
+				s.nodeMu.Lock()
+				s.nodeEventsTotal[r.Node]++
+				s.nodeMu.Unlock()
+			}
+		},
+		OnChainEvent: func(core.ChainRun) { s.chainEventsTotal.Add(1) },
+	})
+}
+
+func (s *server) register(id string) (*session, string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == "" {
+		s.nextID++
+		id = fmt.Sprintf("s%04d", s.nextID)
+	}
+	if old, exists := s.sessions[id]; exists {
+		// A failed ingest must not squat on its ID: collectors retry
+		// the same call ID, and only an active or completed session is
+		// worth protecting from replacement.
+		old.mu.Lock()
+		failed := old.state == "failed"
+		old.mu.Unlock()
+		if !failed {
+			return nil, id, false
+		}
+		s.dropLocked(id)
+	}
+	s.evictLocked()
+	sess := &session{id: id, state: "active", sa: s.newStream()}
+	s.sessions[id] = sess
+	s.order = append(s.order, id)
+	s.sessionsTotal.Add(1)
+	return sess, id, true
+}
+
+// dropLocked removes one session; s.mu must be held.
+func (s *server) dropLocked(id string) {
+	delete(s.sessions, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// evictLocked bounds retention: once MaxSessions is reached, the
+// oldest finished (done or failed) sessions are dropped. Active
+// sessions are never evicted; their count is already bounded by the
+// admission limiter plus waiting uploads. s.mu must be held.
+func (s *server) evictLocked() {
+	max := s.opts.MaxSessions
+	if max <= 0 {
+		return
+	}
+	for len(s.sessions) >= max {
+		evicted := false
+		for _, id := range s.order {
+			sess := s.sessions[id]
+			sess.mu.Lock()
+			finished := sess.state != "active"
+			sess.mu.Unlock()
+			if finished {
+				s.dropLocked(id)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+func (s *server) lookup(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	sess, id, ok := s.register(r.URL.Query().Get("session"))
+	if !ok {
+		httpError(w, http.StatusConflict, fmt.Sprintf("session %q already exists", id))
+		return
+	}
+	if err := s.limiter.Acquire(r.Context()); err != nil {
+		s.fail(sess, fmt.Sprintf("admission aborted: %v", err))
+		httpError(w, http.StatusServiceUnavailable, "ingest capacity saturated and client gave up")
+		return
+	}
+	defer s.limiter.Release()
+	if s.opts.Verbose {
+		s.log.Printf("session %s: ingest started", id)
+	}
+
+	sr := trace.NewStreamReader(r.Body)
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.fail(sess, err.Error())
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		sess.mu.Lock()
+		pushErr := sess.sa.Push(rec)
+		if pushErr == nil {
+			if _, hasTime := rec.Time(); hasTime {
+				s.recordsTotal.Add(1)
+			}
+		}
+		sess.mu.Unlock()
+		if pushErr != nil {
+			s.fail(sess, pushErr.Error())
+			httpError(w, http.StatusBadRequest, pushErr.Error())
+			return
+		}
+	}
+
+	sess.mu.Lock()
+	stats := sess.sa.Stats()
+	rep, err := sess.sa.Close()
+	if err != nil {
+		sess.state = "failed"
+		sess.err = err.Error()
+		sess.mu.Unlock()
+		s.sessionsFailed.Add(1)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess.state = "done"
+	sess.final = rep
+	sess.mu.Unlock()
+	s.sessionsDone.Add(1)
+	s.lateDroppedTotal.Add(int64(stats.LateDropped))
+	if s.opts.Verbose {
+		s.log.Printf("session %s: done (%d records, %d windows, %d chain events)",
+			id, stats.Records, stats.Windows, rep.TotalChainEvents())
+	}
+	writeJSON(w, http.StatusOK, s.reportPayload(sess))
+}
+
+func (s *server) fail(sess *session, msg string) {
+	sess.mu.Lock()
+	if sess.state == "active" {
+		sess.state = "failed"
+		sess.err = msg
+		s.sessionsFailed.Add(1)
+	}
+	sess.mu.Unlock()
+	s.log.Printf("session %s: failed: %s", sess.id, msg)
+}
+
+// sessionInfo is the summary view served by /sessions and embedded in
+// every report payload.
+type sessionInfo struct {
+	Session           string  `json:"session"`
+	Cell              string  `json:"cell"`
+	State             string  `json:"state"`
+	Error             string  `json:"error,omitempty"`
+	Records           int     `json:"records"`
+	Windows           int     `json:"windows"`
+	LateDropped       int     `json:"late_dropped,omitempty"`
+	WatermarkUs       int64   `json:"watermark_us"`
+	DurationUs        int64   `json:"duration_us"`
+	ChainEvents       int     `json:"chain_events"`
+	DegradationPerMin float64 `json:"degradation_events_per_min"`
+}
+
+type nodeStat struct {
+	Events    int     `json:"events"`
+	PerMinute float64 `json:"per_min"`
+}
+
+type chainStat struct {
+	Chain  string `json:"chain"`
+	Events int    `json:"events"`
+}
+
+// reportPayload is the full per-session report served by /report/{id}.
+type reportPayload struct {
+	sessionInfo
+	Causes       map[string]nodeStat `json:"causes"`
+	Consequences map[string]nodeStat `json:"consequences"`
+	TopChains    []chainStat         `json:"top_chains"`
+}
+
+// snapshot returns the session's current report (final when done, live
+// snapshot while active) plus its summary info. Callers hold no locks.
+func (s *server) snapshot(sess *session) (*core.Report, sessionInfo) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	stats := sess.sa.Stats()
+	info := sessionInfo{
+		Session:     sess.id,
+		State:       sess.state,
+		Error:       sess.err,
+		Records:     stats.Records,
+		Windows:     stats.Windows,
+		LateDropped: stats.LateDropped,
+		WatermarkUs: int64(stats.Watermark),
+	}
+	if hdr, ok := sess.sa.Header(); ok {
+		info.Cell = hdr.CellName
+		info.DurationUs = int64(hdr.Duration)
+	}
+	rep := sess.final
+	if rep == nil {
+		rep = sess.sa.Snapshot()
+	}
+	if rep != nil {
+		info.ChainEvents = rep.TotalChainEvents()
+		info.DegradationPerMin = rep.DegradationEventsPerMinute(domino.ConsequenceClasses())
+	}
+	return rep, info
+}
+
+func (s *server) reportPayload(sess *session) reportPayload {
+	rep, info := s.snapshot(sess)
+	p := reportPayload{
+		sessionInfo:  info,
+		Causes:       map[string]nodeStat{},
+		Consequences: map[string]nodeStat{},
+	}
+	if rep == nil {
+		return p
+	}
+	for _, c := range domino.CauseClasses() {
+		p.Causes[c] = nodeStat{Events: rep.EventCount(c), PerMinute: rep.EventsPerMinute(c)}
+	}
+	for _, c := range domino.ConsequenceClasses() {
+		p.Consequences[c] = nodeStat{Events: rep.EventCount(c), PerMinute: rep.EventsPerMinute(c)}
+	}
+	for _, cc := range rep.TopChains(10) {
+		p.TopChains = append(p.TopChains, chainStat{Chain: cc.Chain.String(), Events: cc.Events})
+	}
+	return p
+}
+
+func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	infos := make([]sessionInfo, 0, len(ids))
+	for _, id := range ids {
+		if sess := s.lookup(id); sess != nil {
+			_, info := s.snapshot(sess)
+			infos = append(infos, info)
+		}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.reportPayload(sess))
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	active := 0
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if sess.state == "active" {
+			active++
+		}
+		sess.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "dominod_sessions_total %d\n", s.sessionsTotal.Load())
+	fmt.Fprintf(w, "dominod_sessions_active %d\n", active)
+	fmt.Fprintf(w, "dominod_sessions_done_total %d\n", s.sessionsDone.Load())
+	fmt.Fprintf(w, "dominod_sessions_failed_total %d\n", s.sessionsFailed.Load())
+	fmt.Fprintf(w, "dominod_stream_slots %d\n", s.limiter.Cap())
+	fmt.Fprintf(w, "dominod_stream_slots_in_use %d\n", s.limiter.InUse())
+	fmt.Fprintf(w, "dominod_records_total %d\n", s.recordsTotal.Load())
+	fmt.Fprintf(w, "dominod_windows_total %d\n", s.windowsTotal.Load())
+	fmt.Fprintf(w, "dominod_late_dropped_total %d\n", s.lateDroppedTotal.Load())
+	fmt.Fprintf(w, "dominod_chain_events_total %d\n", s.chainEventsTotal.Load())
+
+	s.nodeMu.Lock()
+	nodes := make([]string, 0, len(s.nodeEventsTotal))
+	for n := range s.nodeEventsTotal {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		class := "consequence"
+		if s.causeClass[n] {
+			class = "cause"
+		}
+		fmt.Fprintf(w, "dominod_node_events_total{node=%q,class=%q} %d\n", n, class, s.nodeEventsTotal[n])
+	}
+	s.nodeMu.Unlock()
+}
+
+// runStdin analyzes a single session from standard input through the
+// streaming path and prints the final report.
+func (s *server) runStdin(in io.Reader, stdout, stderr io.Writer) int {
+	sa := s.newStream()
+	rep, err := domino.StreamRecords(in, sa)
+	if err != nil {
+		fmt.Fprintln(stderr, "dominod:", err)
+		return 1
+	}
+	stats := sa.Stats()
+
+	fmt.Fprintf(stdout, "session: %s (%v, %d records, %d windows, peak buffer %d samples)\n\n",
+		rep.CellName, rep.Duration, stats.Records, stats.Windows, stats.MaxBuffered)
+	fmt.Fprintln(stdout, "5G causes (events/min):")
+	for _, c := range domino.CauseClasses() {
+		fmt.Fprintf(stdout, "  %-18s %6.2f\n", c, rep.EventsPerMinute(c))
+	}
+	fmt.Fprintln(stdout, "\nWebRTC consequences (events/min):")
+	for _, c := range domino.ConsequenceClasses() {
+		fmt.Fprintf(stdout, "  %-22s %6.2f\n", c, rep.EventsPerMinute(c))
+	}
+	fmt.Fprintf(stdout, "\ndegradation events/min: %.2f\n",
+		rep.DegradationEventsPerMinute(domino.ConsequenceClasses()))
+	fmt.Fprintln(stdout, "\ntop matched chains:")
+	for _, cc := range rep.TopChains(10) {
+		fmt.Fprintf(stdout, "  %4d×  %s\n", cc.Events, cc.Chain.String())
+	}
+	return 0
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,358 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/domino5g/domino"
+	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/rtc"
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+func testAnalyzer(t testing.TB) *core.Analyzer {
+	t.Helper()
+	a, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func sessionTrace(t testing.TB, cell ran.CellConfig, seed uint64, d sim.Time) (*trace.Set, []byte) {
+	t.Helper()
+	sess, err := rtc.NewSession(rtc.DefaultSessionConfig(cell, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sess.Run(d)
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	return set, buf.Bytes()
+}
+
+// TestDominodSmoke is the end-to-end acceptance check (also run by
+// `make dominod-smoke`): start the service, POST 8 session streams
+// concurrently, and assert every per-session report matches the batch
+// analyzer's results for the same trace.
+func TestDominodSmoke(t *testing.T) {
+	analyzer := testAnalyzer(t)
+	srv := newServer(analyzer, serverOptions{MaxStreams: 8})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	const n = 8
+	presets := ran.Presets()
+	type sessionCase struct {
+		id   string
+		set  *trace.Set
+		body []byte
+	}
+	cases := make([]sessionCase, n)
+	for i := 0; i < n; i++ {
+		set, body := sessionTrace(t, presets[i%len(presets)], uint64(100+i), 10*sim.Second)
+		cases[i] = sessionCase{id: fmt.Sprintf("call-%d", i), set: set, body: body}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := range cases {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/ingest?session="+cases[i].id, "application/jsonl",
+				bytes.NewReader(cases[i].body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(resp.Body)
+				errs[i] = fmt.Errorf("ingest %s: status %d: %s", cases[i].id, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, c := range cases {
+		batch, err := analyzer.Analyze(c.set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep reportPayload
+		getJSON(t, ts.URL+"/report/"+c.id, &rep)
+		if rep.State != "done" {
+			t.Fatalf("%s: state %q (error %q)", c.id, rep.State, rep.Error)
+		}
+		if rep.Cell != c.set.CellName {
+			t.Fatalf("%s: cell %q, want %q", c.id, rep.Cell, c.set.CellName)
+		}
+		if rep.Windows != len(batch.Windows) {
+			t.Fatalf("%s: %d windows, batch %d", c.id, rep.Windows, len(batch.Windows))
+		}
+		if rep.ChainEvents != batch.TotalChainEvents() {
+			t.Fatalf("%s: %d chain events, batch %d", c.id, rep.ChainEvents, batch.TotalChainEvents())
+		}
+		wantDeg := batch.DegradationEventsPerMinute(domino.ConsequenceClasses())
+		if rep.DegradationPerMin != wantDeg {
+			t.Fatalf("%s: degradation %v/min, batch %v/min", c.id, rep.DegradationPerMin, wantDeg)
+		}
+		for _, cause := range domino.CauseClasses() {
+			if rep.Causes[cause].Events != batch.EventCount(cause) {
+				t.Fatalf("%s cause %s: %d events, batch %d", c.id, cause, rep.Causes[cause].Events, batch.EventCount(cause))
+			}
+		}
+		for _, cons := range domino.ConsequenceClasses() {
+			if rep.Consequences[cons].Events != batch.EventCount(cons) {
+				t.Fatalf("%s consequence %s: %d events, batch %d", c.id, cons, rep.Consequences[cons].Events, batch.EventCount(cons))
+			}
+		}
+	}
+
+	var infos []sessionInfo
+	getJSON(t, ts.URL+"/sessions", &infos)
+	if len(infos) != n {
+		t.Fatalf("/sessions lists %d sessions, want %d", len(infos), n)
+	}
+	for _, info := range infos {
+		if info.State != "done" {
+			t.Fatalf("session %s not done: %+v", info.Session, info)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		fmt.Sprintf("dominod_sessions_total %d", n),
+		fmt.Sprintf("dominod_sessions_done_total %d", n),
+		"dominod_sessions_failed_total 0",
+		"dominod_node_events_total{node=",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func getJSON(t testing.TB, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestRejections covers the protocol edges: duplicate session
+// IDs, malformed bodies, and missing sessions.
+func TestIngestRejections(t *testing.T) {
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 2})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	_, body := sessionTrace(t, ran.Mosolabs(), 3, 6*sim.Second)
+	resp, err := http.Post(ts.URL+"/ingest?session=dup", "application/jsonl", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first ingest: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/ingest?session=dup", "application/jsonl", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate session: %d, want 409", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/ingest", "application/jsonl", strings.NewReader("not jsonl\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/report/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing report: %d, want 404", resp.StatusCode)
+	}
+
+	// A failed ingest must not squat on its session ID: the client's
+	// retry with the same ID replaces it.
+	resp, err = http.Post(ts.URL+"/ingest?session=retry", "application/jsonl", strings.NewReader("broken\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken first attempt: %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/ingest?session=retry", "application/jsonl", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after failure: %d, want 200", resp.StatusCode)
+	}
+	var rep reportPayload
+	getJSON(t, ts.URL+"/report/retry", &rep)
+	if rep.State != "done" {
+		t.Fatalf("retried session state %q", rep.State)
+	}
+}
+
+// TestSessionEviction bounds retention: with MaxSessions 3, finishing
+// a fourth session evicts the oldest finished one.
+func TestSessionEviction(t *testing.T) {
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 2, MaxSessions: 3})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	_, body := sessionTrace(t, ran.Mosolabs(), 6, 6*sim.Second)
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(fmt.Sprintf("%s/ingest?session=e%d", ts.URL, i), "application/jsonl", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest e%d: %d", i, resp.StatusCode)
+		}
+	}
+	var infos []sessionInfo
+	getJSON(t, ts.URL+"/sessions", &infos)
+	if len(infos) > 3 {
+		t.Fatalf("retained %d sessions, cap is 3", len(infos))
+	}
+	// The newest session must survive; the oldest must be gone.
+	resp, err := http.Get(ts.URL + "/report/e4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("newest session evicted: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/report/e0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("oldest session still retained: %d", resp.StatusCode)
+	}
+}
+
+// TestLiveSnapshotDuringIngest streams a session in two halves through
+// a pipe and asserts /report/{id} serves a live snapshot mid-upload.
+func TestLiveSnapshotDuringIngest(t *testing.T) {
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 2})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	set, body := sessionTrace(t, ran.Amarisoft(), 12, 10*sim.Second)
+	lines := bytes.SplitAfter(body, []byte("\n"))
+	half := len(lines) / 2
+
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/ingest?session=live", "application/jsonl", pr)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	sent := make(chan struct{})
+	go func() {
+		for _, l := range lines[:half] {
+			pw.Write(l)
+		}
+		close(sent)
+	}()
+	<-sent
+	// The server consumes the pipe asynchronously; poll until the live
+	// snapshot reflects progress.
+	var rep reportPayload
+	for i := 0; i < 400; i++ {
+		getJSON(t, ts.URL+"/report/live", &rep)
+		if rep.State == "active" && rep.Records > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rep.State != "active" || rep.Records == 0 {
+		t.Fatalf("no live snapshot mid-upload: %+v", rep.sessionInfo)
+	}
+	if rep.Cell != set.CellName {
+		t.Fatalf("live snapshot cell %q", rep.Cell)
+	}
+	for _, l := range lines[half:] {
+		pw.Write(l)
+	}
+	pw.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.URL+"/report/live", &rep)
+	if rep.State != "done" {
+		t.Fatalf("final state %q", rep.State)
+	}
+}
+
+// TestRunStdin covers the single-session CLI mode end to end.
+func TestRunStdin(t *testing.T) {
+	_, body := sessionTrace(t, ran.Mosolabs(), 4, 8*sim.Second)
+	var out, errOut bytes.Buffer
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 1})
+	if code := srv.runStdin(bytes.NewReader(body), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"degradation events/min", "5G causes", "peak buffer"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdin output missing %q:\n%s", want, out.String())
+		}
+	}
+	if code := srv.runStdin(strings.NewReader("garbage\n"), &out, &errOut); code != 1 {
+		t.Fatalf("garbage stdin: exit %d, want 1", code)
+	}
+}

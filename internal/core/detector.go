@@ -86,103 +86,21 @@ type Report struct {
 	chains []Chain
 }
 
-// Analyze runs Domino over a sorted trace set.
+// Analyze runs Domino over a sorted trace set. It is the batch driver
+// of the incremental engine: one full index, then Step per window (see
+// Incremental for the streaming driver — both produce identical
+// reports for the same records by construction).
 func (a *Analyzer) Analyze(set *trace.Set) (*Report, error) {
 	if err := set.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid trace: %w", err)
 	}
 	ix := newIndexedTrace(set)
-	rep := &Report{
-		CellName:    set.CellName,
-		Duration:    set.Duration,
-		NodeEvents:  make(map[string][]EventRun),
-		ChainEvents: make(map[int][]ChainRun),
-		chains:      a.chains,
-	}
-
-	// Track open runs for nodes and chains.
-	openNode := make(map[string]*EventRun)
-	openChain := make(map[int]*ChainRun)
-
-	nodes := a.graph.Nodes()
+	inc := a.NewIncremental(set.CellName)
 	end := set.Duration - a.cfg.Window
 	for start := sim.Time(0); start <= end; start += a.cfg.Step {
-		v := ix.evalWindow(a.cfg, start)
-		wr := WindowResult{Vector: v}
-
-		activeNodes := make(map[string]bool, len(nodes))
-		for _, n := range nodes {
-			if a.graph.NodeActive(n, v) {
-				activeNodes[n] = true
-			}
-		}
-
-		// Backward trace: for each active consequence, walk matched
-		// chains back to their causes.
-		causeSet := map[string]bool{}
-		for _, c := range a.chains {
-			matched := true
-			for _, n := range c.Nodes {
-				if !activeNodes[n] {
-					matched = false
-					break
-				}
-			}
-			if matched {
-				wr.ChainIDs = append(wr.ChainIDs, c.ID)
-				causeSet[c.Cause()] = true
-			}
-		}
-		for _, n := range a.graph.Consequences() {
-			if activeNodes[n] {
-				wr.Consequences = append(wr.Consequences, n)
-			}
-		}
-		for cause := range causeSet {
-			wr.Causes = append(wr.Causes, cause)
-		}
-		sortStrings(wr.Causes)
-		rep.Windows = append(rep.Windows, wr)
-
-		// Update node runs.
-		for _, n := range nodes {
-			if activeNodes[n] {
-				if r := openNode[n]; r != nil {
-					r.End = v.End
-					r.Windows++
-				} else {
-					openNode[n] = &EventRun{Node: n, Start: v.Start, End: v.End, Windows: 1}
-				}
-			} else if r := openNode[n]; r != nil {
-				rep.NodeEvents[n] = append(rep.NodeEvents[n], *r)
-				delete(openNode, n)
-			}
-		}
-		// Update chain runs.
-		matchedNow := make(map[int]bool, len(wr.ChainIDs))
-		for _, id := range wr.ChainIDs {
-			matchedNow[id] = true
-			if r := openChain[id]; r != nil {
-				r.End = v.End
-				r.Windows++
-			} else {
-				openChain[id] = &ChainRun{Chain: a.chains[id-1], Start: v.Start, End: v.End, Windows: 1}
-			}
-		}
-		for id, r := range openChain {
-			if !matchedNow[id] {
-				rep.ChainEvents[id] = append(rep.ChainEvents[id], *r)
-				delete(openChain, id)
-			}
-		}
+		inc.Step(ix.evalWindow(a.cfg, start))
 	}
-	// Close any runs still open at trace end.
-	for n, r := range openNode {
-		rep.NodeEvents[n] = append(rep.NodeEvents[n], *r)
-	}
-	for id, r := range openChain {
-		rep.ChainEvents[id] = append(rep.ChainEvents[id], *r)
-	}
+	rep, _, _ := inc.Finish(set.Duration)
 	return rep, nil
 }
 

@@ -84,10 +84,14 @@ type FeatureVector struct {
 // Has reports whether the named feature fired in this window.
 func (v FeatureVector) Has(name string) bool { return v.Active[name] }
 
-// indexedTrace pre-sorts a trace.Set into binary-searchable series so
-// window evaluation is O(window) instead of O(trace).
+// indexedTrace holds a trace as binary-searchable per-source series so
+// window evaluation is O(window) instead of O(trace). It is built in
+// one shot from a full Set (batch analysis) or grown record-by-record
+// and pruned from the front (streaming analysis) — evalWindow works
+// identically on both because it only ever reads the [start, end)
+// slice of each series.
 type indexedTrace struct {
-	set *trace.Set
+	hasGNBLog bool
 
 	// Media (forward) and RTCP (reverse) delay series, both directions
 	// merged, ordered by send time.
@@ -136,60 +140,199 @@ func dirIdx(d netem.Direction) int {
 
 // newIndexedTrace builds the index. The set must be sorted.
 func newIndexedTrace(set *trace.Set) *indexedTrace {
-	ix := &indexedTrace{set: set}
+	ix := &indexedTrace{hasGNBLog: set.HasGNBLog}
 	for _, p := range set.Packets {
-		di := dirIdx(p.Dir)
-		if p.Kind == netem.KindRTCP {
-			ix.revAt = append(ix.revAt, p.SentAt)
-			ix.revDelay = append(ix.revDelay, p.Delay().Milliseconds())
-			continue
-		}
-		if p.Kind == netem.KindCross {
-			continue
-		}
-		ix.fwdAt = append(ix.fwdAt, p.SentAt)
-		ix.fwdDelay = append(ix.fwdDelay, p.Delay().Milliseconds())
-		ix.appAt[di] = append(ix.appAt[di], p.SentAt)
-		ix.appBytes[di] = append(ix.appBytes[di], p.Size)
+		ix.addPacket(p)
 	}
 	for _, r := range set.DCI {
-		di := dirIdx(r.Dir)
-		ix.dciAt[di] = append(ix.dciAt[di], r.At)
-		ix.dciOwn[di] = append(ix.dciOwn[di], r.OwnPRB)
-		ix.dciOther[di] = append(ix.dciOther[di], r.OtherPRB)
-		ix.dciMCS[di] = append(ix.dciMCS[di], r.MCS)
-		tbs := 0
-		if r.OwnPRB > 0 {
-			tbs = r.TBSBits
-		}
-		ix.dciTBS[di] = append(ix.dciTBS[di], tbs)
-		ix.dciHARQ[di] = append(ix.dciHARQ[di], r.HARQRetx)
-		ix.dciULUse[di] = append(ix.dciULUse[di], r.OwnPRB > 0)
-		// The DCI RLC-retx annotation is gNB-internal knowledge: only
-		// private cells with base-station logs expose it (the paper's
-		// commercial cells detect no RLC retx for exactly this reason).
-		if r.RLCRetx && set.HasGNBLog {
-			ix.rlcAt[di] = append(ix.rlcAt[di], r.At)
-		}
+		ix.addDCI(r)
 	}
 	for _, g := range set.GNBLogs {
-		if g.Kind == trace.GNBLogRLCRetx {
-			di := dirIdx(g.Dir)
-			ix.rlcAt[di] = append(ix.rlcAt[di], g.At)
-		}
+		ix.addGNB(g)
 	}
+	// Batch construction appends DCI-flagged and gNB-logged RLC retx
+	// separately, so the merged series needs a sort; incremental
+	// construction receives records time-merged and stays sorted.
 	for i := range ix.rlcAt {
 		sort.Slice(ix.rlcAt[i], func(a, b int) bool { return ix.rlcAt[i][a] < ix.rlcAt[i][b] })
 	}
 	for _, r := range set.RRC {
-		ix.rrcAt = append(ix.rrcAt, r.At)
+		ix.addRRC(r)
 	}
 	for _, s := range set.Stats {
-		si := sideIdx(s.Local)
-		ix.statsAt[si] = append(ix.statsAt[si], s.At)
-		ix.stats[si] = append(ix.stats[si], s)
+		ix.addStats(s)
 	}
 	return ix
+}
+
+func (ix *indexedTrace) addPacket(p trace.PacketRecord) {
+	if p.Kind == netem.KindRTCP {
+		ix.revAt = append(ix.revAt, p.SentAt)
+		ix.revDelay = append(ix.revDelay, p.Delay().Milliseconds())
+		return
+	}
+	if p.Kind == netem.KindCross {
+		return
+	}
+	di := dirIdx(p.Dir)
+	ix.fwdAt = append(ix.fwdAt, p.SentAt)
+	ix.fwdDelay = append(ix.fwdDelay, p.Delay().Milliseconds())
+	ix.appAt[di] = append(ix.appAt[di], p.SentAt)
+	ix.appBytes[di] = append(ix.appBytes[di], p.Size)
+}
+
+func (ix *indexedTrace) addDCI(r trace.DCIRecord) {
+	di := dirIdx(r.Dir)
+	ix.dciAt[di] = append(ix.dciAt[di], r.At)
+	ix.dciOwn[di] = append(ix.dciOwn[di], r.OwnPRB)
+	ix.dciOther[di] = append(ix.dciOther[di], r.OtherPRB)
+	ix.dciMCS[di] = append(ix.dciMCS[di], r.MCS)
+	tbs := 0
+	if r.OwnPRB > 0 {
+		tbs = r.TBSBits
+	}
+	ix.dciTBS[di] = append(ix.dciTBS[di], tbs)
+	ix.dciHARQ[di] = append(ix.dciHARQ[di], r.HARQRetx)
+	ix.dciULUse[di] = append(ix.dciULUse[di], r.OwnPRB > 0)
+	// The DCI RLC-retx annotation is gNB-internal knowledge: only
+	// private cells with base-station logs expose it (the paper's
+	// commercial cells detect no RLC retx for exactly this reason).
+	if r.RLCRetx && ix.hasGNBLog {
+		ix.rlcAt[di] = append(ix.rlcAt[di], r.At)
+	}
+}
+
+func (ix *indexedTrace) addGNB(g trace.GNBLogRecord) {
+	if g.Kind == trace.GNBLogRLCRetx {
+		di := dirIdx(g.Dir)
+		ix.rlcAt[di] = append(ix.rlcAt[di], g.At)
+	}
+}
+
+func (ix *indexedTrace) addRRC(r trace.RRCRecord) {
+	ix.rrcAt = append(ix.rrcAt, r.At)
+}
+
+func (ix *indexedTrace) addStats(s trace.WebRTCStatsRecord) {
+	si := sideIdx(s.Local)
+	ix.statsAt[si] = append(ix.statsAt[si], s.At)
+	ix.stats[si] = append(ix.stats[si], s)
+}
+
+// shift drops the first lo elements of a parallel value series in
+// place (same backing array).
+func shift[T any](s *[]T) func(lo int) {
+	return func(lo int) { n := copy(*s, (*s)[lo:]); *s = (*s)[:n] }
+}
+
+// evictBefore drops every sample with timestamp < cut, compacting each
+// series in place so the backing arrays stay sized to the window
+// high-water mark instead of growing with the trace.
+func (ix *indexedTrace) evictBefore(cut sim.Time) {
+	dropT := func(at []sim.Time, parallel ...func(lo int)) []sim.Time {
+		lo := sort.Search(len(at), func(i int) bool { return at[i] >= cut })
+		if lo == 0 {
+			return at
+		}
+		for _, fn := range parallel {
+			fn(lo)
+		}
+		n := copy(at, at[lo:])
+		return at[:n]
+	}
+	ix.fwdAt = dropT(ix.fwdAt, shift(&ix.fwdDelay))
+	ix.revAt = dropT(ix.revAt, shift(&ix.revDelay))
+	for di := range ix.appAt {
+		ix.appAt[di] = dropT(ix.appAt[di], shift(&ix.appBytes[di]))
+		ix.dciAt[di] = dropT(ix.dciAt[di],
+			shift(&ix.dciOwn[di]), shift(&ix.dciOther[di]), shift(&ix.dciMCS[di]),
+			shift(&ix.dciTBS[di]), shift(&ix.dciHARQ[di]), shift(&ix.dciULUse[di]))
+		ix.rlcAt[di] = dropT(ix.rlcAt[di])
+	}
+	ix.rrcAt = dropT(ix.rrcAt)
+	for si := range ix.statsAt {
+		ix.statsAt[si] = dropT(ix.statsAt[si], shift(&ix.stats[si]))
+	}
+}
+
+// bubbleLast restores sortedness after one sample was appended to a
+// time series, swapping the parallel value arrays alongside. The walk
+// is O(displacement), which a streaming caller bounds by its lateness
+// slack; for in-order input it is a single comparison.
+func bubbleLast(at []sim.Time, swap func(i, j int)) {
+	for i := len(at) - 1; i > 0 && at[i] < at[i-1]; i-- {
+		at[i], at[i-1] = at[i-1], at[i]
+		if swap != nil {
+			swap(i, i-1)
+		}
+	}
+}
+
+// swapIn returns a swap over one parallel value series.
+func swapIn[T any](s []T) func(i, j int) {
+	return func(i, j int) { s[i], s[j] = s[j], s[i] }
+}
+
+// swapAll composes swaps over several parallel value series.
+func swapAll(swaps ...func(i, j int)) func(i, j int) {
+	return func(i, j int) {
+		for _, fn := range swaps {
+			fn(i, j)
+		}
+	}
+}
+
+// restoreOrderPacket re-sorts the tail of the packet-derived series
+// after an out-of-order (but within-lateness) streamed packet.
+func (ix *indexedTrace) restoreOrderPacket(p trace.PacketRecord) {
+	if p.Kind == netem.KindRTCP {
+		bubbleLast(ix.revAt, swapIn(ix.revDelay))
+		return
+	}
+	if p.Kind == netem.KindCross {
+		return
+	}
+	di := dirIdx(p.Dir)
+	bubbleLast(ix.fwdAt, swapIn(ix.fwdDelay))
+	bubbleLast(ix.appAt[di], swapIn(ix.appBytes[di]))
+}
+
+// restoreOrderDCI re-sorts the tail of the DCI-derived series.
+func (ix *indexedTrace) restoreOrderDCI(r trace.DCIRecord) {
+	di := dirIdx(r.Dir)
+	bubbleLast(ix.dciAt[di], swapAll(
+		swapIn(ix.dciOwn[di]), swapIn(ix.dciOther[di]), swapIn(ix.dciMCS[di]),
+		swapIn(ix.dciTBS[di]), swapIn(ix.dciHARQ[di]), swapIn(ix.dciULUse[di])))
+	bubbleLast(ix.rlcAt[di], nil)
+}
+
+// restoreOrderGNB re-sorts the tail of the RLC-retx series.
+func (ix *indexedTrace) restoreOrderGNB(g trace.GNBLogRecord) {
+	if g.Kind == trace.GNBLogRLCRetx {
+		bubbleLast(ix.rlcAt[dirIdx(g.Dir)], nil)
+	}
+}
+
+// restoreOrderRRC re-sorts the tail of the RRC series.
+func (ix *indexedTrace) restoreOrderRRC() { bubbleLast(ix.rrcAt, nil) }
+
+// restoreOrderStats re-sorts the tail of one side's stats series.
+func (ix *indexedTrace) restoreOrderStats(s trace.WebRTCStatsRecord) {
+	si := sideIdx(s.Local)
+	bubbleLast(ix.statsAt[si], swapIn(ix.stats[si]))
+}
+
+// buffered returns the number of samples currently held across all
+// series — the streaming analyzer's O(window) state measure.
+func (ix *indexedTrace) buffered() int {
+	n := len(ix.fwdAt) + len(ix.revAt) + len(ix.rrcAt)
+	for di := range ix.dciAt {
+		n += len(ix.dciAt[di]) + len(ix.rlcAt[di])
+	}
+	for si := range ix.statsAt {
+		n += len(ix.statsAt[si])
+	}
+	return n
 }
 
 // window returns [lo, hi) index bounds of at-values within [start, end).

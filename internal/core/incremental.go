@@ -1,0 +1,241 @@
+package core
+
+import (
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+// This file is the incremental half of the detection engine: the same
+// window evaluation and event-run collapsing the batch Analyze performs,
+// factored so a streaming caller can drive it one window at a time with
+// O(window) trace state. Analyze itself is a thin loop over these
+// pieces, which is what guarantees the streaming and batch paths cannot
+// diverge.
+
+// WindowEvaluator incrementally maintains the indexed per-source series
+// window evaluation reads. Records are Observed in (merged) timestamp
+// order, old samples are evicted once the window has slid past them,
+// and Eval computes the same 36-dim feature vector the batch path
+// computes for that window position.
+type WindowEvaluator struct {
+	cfg DetectorConfig
+	ix  *indexedTrace
+}
+
+// NewWindowEvaluator returns an empty evaluator for one session.
+// hasGNBLog gates RLC-retx visibility exactly like trace.Set.HasGNBLog.
+func (a *Analyzer) NewWindowEvaluator(hasGNBLog bool) *WindowEvaluator {
+	return &WindowEvaluator{cfg: a.cfg, ix: &indexedTrace{hasGNBLog: hasGNBLog}}
+}
+
+// Observe appends one record's samples to the index. Records should
+// arrive in non-decreasing primary-timestamp order across all sources
+// (the order WriteJSONL emits); a record behind the series tail is
+// insertion-sorted back into place, at O(displacement) cost, so a
+// caller admitting bounded out-of-orderness (stream.Config.Lateness)
+// still evaluates windows on correctly ordered series. Header records
+// are ignored.
+func (e *WindowEvaluator) Observe(rec trace.Record) {
+	switch {
+	case rec.DCI != nil:
+		e.ix.addDCI(*rec.DCI)
+		e.ix.restoreOrderDCI(*rec.DCI)
+	case rec.GNB != nil:
+		e.ix.addGNB(*rec.GNB)
+		e.ix.restoreOrderGNB(*rec.GNB)
+	case rec.Packet != nil:
+		e.ix.addPacket(*rec.Packet)
+		e.ix.restoreOrderPacket(*rec.Packet)
+	case rec.Stats != nil:
+		e.ix.addStats(*rec.Stats)
+		e.ix.restoreOrderStats(*rec.Stats)
+	case rec.RRC != nil:
+		e.ix.addRRC(*rec.RRC)
+		e.ix.restoreOrderRRC()
+	}
+}
+
+// EvictBefore drops samples older than cut (the start of the earliest
+// window still to be evaluated).
+func (e *WindowEvaluator) EvictBefore(cut sim.Time) { e.ix.evictBefore(cut) }
+
+// Eval computes the feature vector for the window [start, start+W).
+// Every sample in that range must have been Observed and not evicted.
+func (e *WindowEvaluator) Eval(start sim.Time) FeatureVector {
+	return e.ix.evalWindow(e.cfg, start)
+}
+
+// Buffered returns the number of samples currently held — O(window)
+// when the caller evicts as it advances, versus O(trace) for batch.
+func (e *WindowEvaluator) Buffered() int { return e.ix.buffered() }
+
+// Incremental carries the per-session detection state that spans
+// windows: the report under construction and the open node/chain runs.
+// Step feeds it one window's feature vector at a time, in order;
+// Finish closes the remaining runs. It is the exact state machine of
+// the batch Analyze loop, exposed for streaming callers.
+type Incremental struct {
+	a           *Analyzer
+	rep         *Report
+	openNode    map[string]*EventRun
+	openChain   map[int]*ChainRun
+	keepWindows bool
+}
+
+// NewIncremental starts an incremental analysis for one session.
+func (a *Analyzer) NewIncremental(cellName string) *Incremental {
+	return &Incremental{
+		a: a,
+		rep: &Report{
+			CellName:    cellName,
+			NodeEvents:  make(map[string][]EventRun),
+			ChainEvents: make(map[int][]ChainRun),
+			chains:      a.chains,
+		},
+		openNode:    make(map[string]*EventRun),
+		openChain:   make(map[int]*ChainRun),
+		keepWindows: true,
+	}
+}
+
+// SetKeepWindows controls whether per-window results are retained in
+// the report (default true, matching batch analysis). Long-running
+// live sessions turn this off to keep report growth bounded by event
+// runs instead of window count.
+func (inc *Incremental) SetKeepWindows(keep bool) { inc.keepWindows = keep }
+
+// Step consumes the feature vector of the next window position and
+// returns its WindowResult together with the node and chain runs that
+// closed at this step (in graph-node and chain-ID order respectively).
+func (inc *Incremental) Step(v FeatureVector) (WindowResult, []EventRun, []ChainRun) {
+	a := inc.a
+	rep := inc.rep
+	wr := WindowResult{Vector: v}
+
+	nodes := a.graph.Nodes()
+	activeNodes := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if a.graph.NodeActive(n, v) {
+			activeNodes[n] = true
+		}
+	}
+
+	// Backward trace: for each active consequence, walk matched
+	// chains back to their causes.
+	causeSet := map[string]bool{}
+	for _, c := range a.chains {
+		matched := true
+		for _, n := range c.Nodes {
+			if !activeNodes[n] {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			wr.ChainIDs = append(wr.ChainIDs, c.ID)
+			causeSet[c.Cause()] = true
+		}
+	}
+	for _, n := range a.graph.Consequences() {
+		if activeNodes[n] {
+			wr.Consequences = append(wr.Consequences, n)
+		}
+	}
+	for cause := range causeSet {
+		wr.Causes = append(wr.Causes, cause)
+	}
+	sortStrings(wr.Causes)
+	if inc.keepWindows {
+		rep.Windows = append(rep.Windows, wr)
+	}
+
+	// Update node runs.
+	var closedNodes []EventRun
+	for _, n := range nodes {
+		if activeNodes[n] {
+			if r := inc.openNode[n]; r != nil {
+				r.End = v.End
+				r.Windows++
+			} else {
+				inc.openNode[n] = &EventRun{Node: n, Start: v.Start, End: v.End, Windows: 1}
+			}
+		} else if r := inc.openNode[n]; r != nil {
+			rep.NodeEvents[n] = append(rep.NodeEvents[n], *r)
+			closedNodes = append(closedNodes, *r)
+			delete(inc.openNode, n)
+		}
+	}
+	// Update chain runs.
+	var closedChains []ChainRun
+	matchedNow := make(map[int]bool, len(wr.ChainIDs))
+	for _, id := range wr.ChainIDs {
+		matchedNow[id] = true
+		if r := inc.openChain[id]; r != nil {
+			r.End = v.End
+			r.Windows++
+		} else {
+			inc.openChain[id] = &ChainRun{Chain: a.chains[id-1], Start: v.Start, End: v.End, Windows: 1}
+		}
+	}
+	for id := 1; id <= len(a.chains); id++ {
+		if r := inc.openChain[id]; r != nil && !matchedNow[id] {
+			rep.ChainEvents[id] = append(rep.ChainEvents[id], *r)
+			closedChains = append(closedChains, *r)
+			delete(inc.openChain, id)
+		}
+	}
+	return wr, closedNodes, closedChains
+}
+
+// Finish closes every run still open, stamps the session duration, and
+// returns the final report plus the runs closed here. The Incremental
+// must not be used afterwards.
+func (inc *Incremental) Finish(duration sim.Time) (*Report, []EventRun, []ChainRun) {
+	rep := inc.rep
+	rep.Duration = duration
+	var closedNodes []EventRun
+	for _, n := range inc.a.graph.Nodes() {
+		if r := inc.openNode[n]; r != nil {
+			rep.NodeEvents[n] = append(rep.NodeEvents[n], *r)
+			closedNodes = append(closedNodes, *r)
+			delete(inc.openNode, n)
+		}
+	}
+	var closedChains []ChainRun
+	for id := 1; id <= len(inc.a.chains); id++ {
+		if r := inc.openChain[id]; r != nil {
+			rep.ChainEvents[id] = append(rep.ChainEvents[id], *r)
+			closedChains = append(closedChains, *r)
+			delete(inc.openChain, id)
+		}
+	}
+	return rep, closedNodes, closedChains
+}
+
+// Snapshot returns a point-in-time copy of the report with runs still
+// open treated as closed now, for live inspection of an unfinished
+// session. The Incremental remains usable.
+func (inc *Incremental) Snapshot(asOf sim.Time) *Report {
+	rep := inc.rep
+	cp := &Report{
+		CellName:    rep.CellName,
+		Duration:    asOf,
+		Windows:     rep.Windows[:len(rep.Windows):len(rep.Windows)],
+		NodeEvents:  make(map[string][]EventRun, len(rep.NodeEvents)),
+		ChainEvents: make(map[int][]ChainRun, len(rep.ChainEvents)),
+		chains:      rep.chains,
+	}
+	for n, runs := range rep.NodeEvents {
+		cp.NodeEvents[n] = append([]EventRun(nil), runs...)
+	}
+	for id, runs := range rep.ChainEvents {
+		cp.ChainEvents[id] = append([]ChainRun(nil), runs...)
+	}
+	for n, r := range inc.openNode {
+		cp.NodeEvents[n] = append(cp.NodeEvents[n], *r)
+	}
+	for id, r := range inc.openChain {
+		cp.ChainEvents[id] = append(cp.ChainEvents[id], *r)
+	}
+	return cp
+}

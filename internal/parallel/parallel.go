@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -76,3 +77,50 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	wg.Wait()
 	return firstErr
 }
+
+// Limiter is the open-ended counterpart of ForEach's bounded pool: a
+// counting semaphore for long-running services whose task count is not
+// known up front (e.g. cmd/dominod admitting session streams). Blocked
+// Acquire calls provide natural backpressure to the producer.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter returns a limiter admitting up to n concurrent holders;
+// n <= 0 selects runtime.GOMAXPROCS(0).
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Limiter{sem: make(chan struct{}, n)}
+}
+
+// Cap returns the limiter's capacity.
+func (l *Limiter) Cap() int { return cap(l.sem) }
+
+// InUse returns the number of slots currently held.
+func (l *Limiter) InUse() int { return len(l.sem) }
+
+// Acquire blocks until a slot is free or ctx is done, returning the
+// context's error in the latter case.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot without blocking, reporting success.
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire or TryAcquire.
+func (l *Limiter) Release() { <-l.sem }

@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -87,5 +89,66 @@ func TestForEachSlotWrites(t *testing.T) {
 		if v != i*i {
 			t.Fatalf("slot %d = %d", i, v)
 		}
+	}
+}
+
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	l := NewLimiter(3)
+	if l.Cap() != 3 {
+		t.Fatalf("Cap = %d", l.Cap())
+	}
+	var peak, cur atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer l.Release()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds limiter cap 3", p)
+	}
+}
+
+func TestLimiterTryAcquireAndContext(t *testing.T) {
+	l := NewLimiter(1)
+	if !l.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if l.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded past cap")
+	}
+	if l.InUse() != 1 {
+		t.Fatalf("InUse = %d", l.InUse())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire on canceled ctx: %v", err)
+	}
+	l.Release()
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+}
+
+func TestLimiterDefaultCap(t *testing.T) {
+	if NewLimiter(0).Cap() < 1 {
+		t.Fatal("default cap must be at least 1")
 	}
 }

@@ -1,0 +1,273 @@
+// Package stream is the incremental (operator-side, always-on) face of
+// the Domino detector: an Analyzer that consumes trace records one at
+// a time while the session is still running, slides the detection
+// window with O(window) buffered state instead of the whole trace, and
+// emits window results and collapsed event runs as they close.
+//
+// For the same records, a stream Analyzer's final report is identical
+// to the batch core.Analyzer.Analyze over the equivalent trace.Set —
+// both drive the same incremental engine in internal/core, and the
+// differential test in this package pins the equivalence over all four
+// Table 1 presets.
+//
+// Watermark contract: records must arrive in non-decreasing primary-
+// timestamp order, up to the configured Lateness slack. A window
+// [s, s+W) is evaluated once the watermark (the highest timestamp
+// seen) reaches s+W+Lateness, which guarantees no record belonging to
+// the window can still be in flight. Records that arrive after their
+// window was already evaluated are rejected (or counted and dropped
+// with DropLate), never silently folded in — reproducibility beats
+// completeness here.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+// Errors reported by Push and Close.
+var (
+	// ErrNoHeader is returned when a data record precedes the header.
+	ErrNoHeader = errors.New("stream: record before header")
+	// ErrLateRecord is returned when a record arrives for a window that
+	// was already evaluated (input more out-of-order than Lateness).
+	ErrLateRecord = errors.New("stream: record arrived after its window closed")
+	// ErrClosed is returned by any call after Close.
+	ErrClosed = errors.New("stream: analyzer closed")
+)
+
+// Config parameterizes a streaming analyzer.
+type Config struct {
+	// Lateness is the out-of-order slack: a window is held open until
+	// the watermark passes its end by this much. Zero (the default)
+	// expects fully time-ordered input, which is what WriteJSONL
+	// produces and what a time-merging live collector delivers.
+	Lateness sim.Time
+	// DropLate counts and discards records older than the slack allows
+	// instead of failing the stream.
+	DropLate bool
+	// DropWindows discards per-window results from the final report,
+	// bounding report growth for very long sessions (event runs are
+	// always kept).
+	DropWindows bool
+
+	// OnWindow, if set, is called for every evaluated window, in order.
+	OnWindow func(core.WindowResult)
+	// OnNodeEvent, if set, is called for every collapsed node event run
+	// as it closes (including those closed by Close).
+	OnNodeEvent func(core.EventRun)
+	// OnChainEvent, if set, is called for every collapsed chain run as
+	// it closes.
+	OnChainEvent func(core.ChainRun)
+}
+
+// Stats counts a stream's progress.
+type Stats struct {
+	// Records is the number of data records accepted.
+	Records int
+	// LateDropped is the number of records discarded under DropLate.
+	LateDropped int
+	// Windows is the number of window positions evaluated so far.
+	Windows int
+	// MaxBuffered is the high-water mark of buffered samples — the
+	// O(window) state bound (compare len(trace.Set) for batch).
+	MaxBuffered int
+	// Watermark is the highest record timestamp seen.
+	Watermark sim.Time
+}
+
+// Analyzer incrementally analyzes one session's record stream. It is
+// not safe for concurrent use; callers multiplexing sessions (e.g.
+// cmd/dominod) guard each session's Analyzer with its own lock.
+type Analyzer struct {
+	core *core.Analyzer
+	cfg  Config
+
+	hdr       *trace.Header
+	eval      *core.WindowEvaluator
+	inc       *core.Incremental
+	nextStart sim.Time
+	stats     Stats
+	closed    bool
+}
+
+// New returns a streaming analyzer driving the given (immutable,
+// shareable) core analyzer. The stream must deliver a header record
+// before any data record.
+func New(a *core.Analyzer, cfg Config) *Analyzer {
+	return &Analyzer{core: a, cfg: cfg}
+}
+
+// Header returns the stream's header once it has been pushed.
+func (s *Analyzer) Header() (trace.Header, bool) {
+	if s.hdr == nil {
+		return trace.Header{}, false
+	}
+	return *s.hdr, true
+}
+
+// Stats returns the stream's progress counters.
+func (s *Analyzer) Stats() Stats { return s.stats }
+
+// Watermark returns the highest record timestamp seen.
+func (s *Analyzer) Watermark() sim.Time { return s.stats.Watermark }
+
+// emittedEnd returns the end of the newest evaluated window — the
+// horizon a new record must not fall behind.
+func (s *Analyzer) emittedEnd() sim.Time {
+	if s.stats.Windows == 0 {
+		return 0
+	}
+	cfg := s.core.Config()
+	return s.nextStart - cfg.Step + cfg.Window
+}
+
+// Push feeds one record into the stream, evaluating every window the
+// advancing watermark allows before returning.
+func (s *Analyzer) Push(rec trace.Record) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if rec.Header != nil {
+		if s.hdr != nil {
+			return errors.New("stream: duplicate header")
+		}
+		if rec.Header.Duration < 0 {
+			return errors.New("stream: negative duration in header")
+		}
+		h := *rec.Header
+		s.hdr = &h
+		s.eval = s.core.NewWindowEvaluator(h.HasGNBLog)
+		s.inc = s.core.NewIncremental(h.CellName)
+		if s.cfg.DropWindows {
+			s.inc.SetKeepWindows(false)
+		}
+		return nil
+	}
+	if s.hdr == nil {
+		return ErrNoHeader
+	}
+	t, ok := rec.Time()
+	if !ok {
+		return errors.New("stream: record without timestamp")
+	}
+	if t < 0 {
+		return fmt.Errorf("stream: negative record timestamp %v", t)
+	}
+	if t < s.emittedEnd() {
+		if s.cfg.DropLate {
+			s.stats.LateDropped++
+			return nil
+		}
+		return fmt.Errorf("%w: t=%v, already evaluated through %v (regenerate type-grouped legacy traces with the current writer, or raise Lateness)",
+			ErrLateRecord, t, s.emittedEnd())
+	}
+	s.eval.Observe(rec)
+	s.stats.Records++
+	if b := s.eval.Buffered(); b > s.stats.MaxBuffered {
+		s.stats.MaxBuffered = b
+	}
+	if t > s.stats.Watermark {
+		s.stats.Watermark = t
+	}
+	s.advance(false)
+	return nil
+}
+
+// PushBatch feeds a batch of records, stopping at the first error.
+func (s *Analyzer) PushBatch(recs []trace.Record) error {
+	for _, rec := range recs {
+		if err := s.Push(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// advance evaluates every window position that is safe to close. With
+// flush set (Close), remaining windows are evaluated regardless of the
+// watermark — no further records can arrive.
+func (s *Analyzer) advance(flush bool) {
+	cfg := s.core.Config()
+	lastStart := sim.MaxTime - cfg.Window
+	if s.hdr.Duration > 0 {
+		lastStart = s.hdr.Duration - cfg.Window
+	} else if flush {
+		lastStart = s.stats.Watermark - cfg.Window
+	}
+	for s.nextStart <= lastStart {
+		if !flush && s.stats.Watermark < s.nextStart+cfg.Window+s.cfg.Lateness {
+			return
+		}
+		s.eval.EvictBefore(s.nextStart)
+		v := s.eval.Eval(s.nextStart)
+		wr, closedNodes, closedChains := s.inc.Step(v)
+		s.stats.Windows++
+		s.nextStart += cfg.Step
+		s.emit(wr, closedNodes, closedChains)
+	}
+}
+
+func (s *Analyzer) emit(wr core.WindowResult, nodes []core.EventRun, chains []core.ChainRun) {
+	if s.cfg.OnWindow != nil {
+		s.cfg.OnWindow(wr)
+	}
+	if s.cfg.OnNodeEvent != nil {
+		for _, r := range nodes {
+			s.cfg.OnNodeEvent(r)
+		}
+	}
+	if s.cfg.OnChainEvent != nil {
+		for _, r := range chains {
+			s.cfg.OnChainEvent(r)
+		}
+	}
+}
+
+// Snapshot returns a live report of the session so far, with open runs
+// treated as closed at the watermark. It returns nil before the header
+// has arrived.
+func (s *Analyzer) Snapshot() *core.Report {
+	if s.inc == nil {
+		return nil
+	}
+	asOf := s.stats.Watermark
+	if d := s.hdr.Duration; d > 0 && d < asOf {
+		asOf = d
+	}
+	return s.inc.Snapshot(asOf)
+}
+
+// Close flushes every remaining window (using the header duration, or
+// the watermark for open-ended streams), closes all open event runs,
+// and returns the final report. The analyzer is unusable afterwards.
+func (s *Analyzer) Close() (*core.Report, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.closed = true
+	if s.hdr == nil {
+		return nil, errors.New("stream: stream ended before a header record")
+	}
+	s.advance(true)
+	duration := s.hdr.Duration
+	if duration == 0 {
+		duration = s.stats.Watermark
+	}
+	rep, closedNodes, closedChains := s.inc.Finish(duration)
+	if s.cfg.OnNodeEvent != nil {
+		for _, r := range closedNodes {
+			s.cfg.OnNodeEvent(r)
+		}
+	}
+	if s.cfg.OnChainEvent != nil {
+		for _, r := range closedChains {
+			s.cfg.OnChainEvent(r)
+		}
+	}
+	return rep, nil
+}

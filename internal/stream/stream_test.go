@@ -1,0 +1,444 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/rtc"
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+func simulate(t testing.TB, cell ran.CellConfig, seed uint64, d sim.Time) *trace.Set {
+	t.Helper()
+	sess, err := rtc.NewSession(rtc.DefaultSessionConfig(cell, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess.Run(d)
+}
+
+// records round-trips a set through the JSONL wire format into the
+// time-ordered record sequence a live collector would deliver.
+func records(t testing.TB, set *trace.Set) []trace.Record {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	sr := trace.NewStreamReader(&buf)
+	var recs []trace.Record
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return recs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func streamReport(t testing.TB, a *core.Analyzer, recs []trace.Record, cfg Config) (*core.Report, Stats) {
+	t.Helper()
+	s := New(a, cfg)
+	for _, rec := range recs {
+		if err := s.Push(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := s.Stats()
+	rep, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, stats
+}
+
+// diffReports asserts full equality of the two analysis outputs: every
+// window's feature vector, consequences, causes and chain matches, and
+// every collapsed node/chain event run.
+func diffReports(t *testing.T, batch, stream *core.Report) {
+	t.Helper()
+	if batch.CellName != stream.CellName {
+		t.Fatalf("cell: %q vs %q", batch.CellName, stream.CellName)
+	}
+	if batch.Duration != stream.Duration {
+		t.Fatalf("duration: %v vs %v", batch.Duration, stream.Duration)
+	}
+	if len(batch.Windows) != len(stream.Windows) {
+		t.Fatalf("windows: %d vs %d", len(batch.Windows), len(stream.Windows))
+	}
+	for i := range batch.Windows {
+		if !reflect.DeepEqual(batch.Windows[i], stream.Windows[i]) {
+			t.Fatalf("window %d diverged:\nbatch:  %+v\nstream: %+v", i, batch.Windows[i], stream.Windows[i])
+		}
+	}
+	if !reflect.DeepEqual(batch.NodeEvents, stream.NodeEvents) {
+		t.Fatalf("node events diverged:\nbatch:  %+v\nstream: %+v", batch.NodeEvents, stream.NodeEvents)
+	}
+	if !reflect.DeepEqual(batch.ChainEvents, stream.ChainEvents) {
+		t.Fatalf("chain events diverged:\nbatch:  %+v\nstream: %+v", batch.ChainEvents, stream.ChainEvents)
+	}
+}
+
+// TestDifferentialAllPresets is the subsystem's pinning test: for every
+// Table 1 preset at a fixed seed, the streaming analyzer fed one record
+// at a time produces a report identical to the batch analyzer over the
+// complete trace — windows, node events, and chain runs.
+func TestDifferentialAllPresets(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dur = 15 * sim.Second
+	for i, cell := range ran.Presets() {
+		cell := cell
+		t.Run(cell.Name, func(t *testing.T) {
+			set := simulate(t, cell, uint64(41+i), dur)
+			batch, err := analyzer.Analyze(set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := records(t, set)
+			stream, stats := streamReport(t, analyzer, recs, Config{})
+			diffReports(t, batch, stream)
+
+			total := len(set.DCI) + len(set.GNBLogs) + len(set.Packets) + len(set.Stats) + len(set.RRC)
+			if stats.Records != total {
+				t.Fatalf("streamed %d records, trace holds %d", stats.Records, total)
+			}
+			// The O(window) claim: with a 5 s window over a 15 s trace
+			// the peak buffered state must stay well below the trace.
+			if stats.MaxBuffered >= total*2/3 {
+				t.Fatalf("buffered %d of %d samples — window eviction is not bounding state", stats.MaxBuffered, total)
+			}
+			if stats.Windows != len(batch.Windows) {
+				t.Fatalf("evaluated %d windows, batch has %d", stats.Windows, len(batch.Windows))
+			}
+		})
+	}
+}
+
+// TestBatchedPushesAndCallbacks checks chunked ingestion and that the
+// callback stream reassembles into exactly the final report.
+func TestBatchedPushesAndCallbacks(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := simulate(t, ran.Amarisoft(), 7, 12*sim.Second)
+	batch, err := analyzer.Analyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := records(t, set)
+
+	var windows []core.WindowResult
+	gotNodes := map[string][]core.EventRun{}
+	gotChains := map[int][]core.ChainRun{}
+	s := New(analyzer, Config{
+		OnWindow:     func(w core.WindowResult) { windows = append(windows, w) },
+		OnNodeEvent:  func(r core.EventRun) { gotNodes[r.Node] = append(gotNodes[r.Node], r) },
+		OnChainEvent: func(r core.ChainRun) { gotChains[r.Chain.ID] = append(gotChains[r.Chain.ID], r) },
+	})
+	for len(recs) > 0 {
+		n := 97
+		if n > len(recs) {
+			n = len(recs)
+		}
+		if err := s.PushBatch(recs[:n]); err != nil {
+			t.Fatal(err)
+		}
+		recs = recs[n:]
+	}
+	rep, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffReports(t, batch, rep)
+	if !reflect.DeepEqual(windows, batch.Windows) {
+		t.Fatal("OnWindow stream diverged from batch windows")
+	}
+	// Every run present in the report must have been emitted once.
+	for n, runs := range rep.NodeEvents {
+		if !reflect.DeepEqual(gotNodes[n], runs) {
+			t.Fatalf("node %s: emitted %+v, report %+v", n, gotNodes[n], runs)
+		}
+	}
+	for id, runs := range rep.ChainEvents {
+		if !reflect.DeepEqual(gotChains[id], runs) {
+			t.Fatalf("chain %d: emitted %+v, report %+v", id, gotChains[id], runs)
+		}
+	}
+}
+
+// TestOpenEndedStream analyzes a stream whose header carries no
+// duration (a live capture): the final report must equal batch
+// analysis with the watermark as the session duration.
+func TestOpenEndedStream(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := simulate(t, ran.Mosolabs(), 11, 12*sim.Second)
+	recs := records(t, set)
+
+	var watermark sim.Time
+	s := New(analyzer, Config{})
+	for _, rec := range recs {
+		if rec.Header != nil {
+			open := *rec.Header
+			open.Duration = 0
+			if err := s.Push(trace.Record{Header: &open}); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if at, ok := rec.Time(); ok && at > watermark {
+			watermark = at
+		}
+		if err := s.Push(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := *set
+	truncated.Duration = watermark
+	batch, err := analyzer.Analyze(&truncated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffReports(t, batch, rep)
+}
+
+func testHeader() trace.Record {
+	return trace.Record{Header: &trace.Header{CellName: "t", Duration: 10 * sim.Second, HasGNBLog: true}}
+}
+
+func rrcAt(at sim.Time) trace.Record {
+	return trace.Record{RRC: &trace.RRCRecord{At: at, Connected: true}}
+}
+
+func TestStreamProtocolErrors(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("record before header", func(t *testing.T) {
+		s := New(analyzer, Config{})
+		if err := s.Push(rrcAt(0)); !errors.Is(err, ErrNoHeader) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("duplicate header", func(t *testing.T) {
+		s := New(analyzer, Config{})
+		if err := s.Push(testHeader()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Push(testHeader()); err == nil {
+			t.Fatal("duplicate header accepted")
+		}
+	})
+	t.Run("close without header", func(t *testing.T) {
+		s := New(analyzer, Config{})
+		if _, err := s.Close(); err == nil {
+			t.Fatal("headerless close accepted")
+		}
+	})
+	t.Run("empty record", func(t *testing.T) {
+		s := New(analyzer, Config{})
+		if err := s.Push(testHeader()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Push(trace.Record{}); err == nil {
+			t.Fatal("empty record accepted")
+		}
+	})
+	t.Run("use after close", func(t *testing.T) {
+		s := New(analyzer, Config{})
+		if err := s.Push(testHeader()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Push(rrcAt(0)); !errors.Is(err, ErrClosed) {
+			t.Fatalf("push after close: %v", err)
+		}
+		if _, err := s.Close(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("double close: %v", err)
+		}
+	})
+}
+
+// TestLateRecords pins the watermark contract: a record behind an
+// already-evaluated window fails the stream (or is counted under
+// DropLate), while a record within Lateness is folded in and the
+// result still matches batch analysis.
+func TestLateRecords(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("reject", func(t *testing.T) {
+		s := New(analyzer, Config{})
+		if err := s.Push(testHeader()); err != nil {
+			t.Fatal(err)
+		}
+		// Watermark to 6 s evaluates windows [0,5) and [0.5,5.5).
+		if err := s.Push(rrcAt(6 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Stats().Windows; got != 3 {
+			t.Fatalf("evaluated %d windows, want 3", got)
+		}
+		if err := s.Push(rrcAt(sim.Second)); !errors.Is(err, ErrLateRecord) {
+			t.Fatalf("late record: %v", err)
+		}
+	})
+	t.Run("drop", func(t *testing.T) {
+		s := New(analyzer, Config{DropLate: true})
+		if err := s.Push(testHeader()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Push(rrcAt(6 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Push(rrcAt(sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if s.Stats().LateDropped != 1 {
+			t.Fatalf("LateDropped = %d", s.Stats().LateDropped)
+		}
+	})
+	t.Run("lateness slack matches batch", func(t *testing.T) {
+		set := simulate(t, ran.TMobileTDD(), 3, 10*sim.Second)
+		batch, err := analyzer.Analyze(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := records(t, set)
+		// Perturb delivery two ways: swap adjacent records (mostly
+		// cross-series jitter), then displace every 10th record five
+		// positions later — in a dense merged stream that inverts
+		// records of the *same* series, which must be insertion-sorted
+		// back into the window index, not just appended.
+		perturbed := append([]trace.Record(nil), recs...)
+		for i := 1; i+1 < len(perturbed); i += 2 {
+			perturbed[i], perturbed[i+1] = perturbed[i+1], perturbed[i]
+		}
+		for i := 10; i+6 < len(perturbed); i += 10 {
+			r := perturbed[i]
+			copy(perturbed[i:], perturbed[i+1:i+6])
+			perturbed[i+5] = r
+		}
+		rep, _ := streamReport(t, analyzer, perturbed, Config{Lateness: 100 * sim.Millisecond})
+		diffReports(t, batch, rep)
+	})
+	t.Run("same-series reorder within slack", func(t *testing.T) {
+		// Regression: two records of one series delivered out of order
+		// within the slack must land sorted in the index — an appended
+		// 5.4 s RRC sample after a 5.6 s one would otherwise corrupt
+		// the binary-searched series and drop the detection silently.
+		s := New(analyzer, Config{Lateness: 300 * sim.Millisecond})
+		if err := s.Push(testHeader()); err != nil {
+			t.Fatal(err)
+		}
+		for _, at := range []sim.Time{5600 * sim.Millisecond, 5400 * sim.Millisecond} {
+			if err := s.Push(rrcAt(at)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, err := s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both samples sit in windows covering [5.4s, 5.6s]; with a
+		// corrupted series the rrc_state_change runs differ from the
+		// batch analysis of the same two records.
+		set := &trace.Set{
+			CellName: "t", Duration: 10 * sim.Second, HasGNBLog: true,
+			RRC: []trace.RRCRecord{{At: 5400 * sim.Millisecond, Connected: true}, {At: 5600 * sim.Millisecond, Connected: true}},
+		}
+		batch, err := analyzer.Analyze(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch.NodeEvents["rrc_state_change"], rep.NodeEvents["rrc_state_change"]) {
+			t.Fatalf("rrc runs diverged:\nbatch:  %+v\nstream: %+v",
+				batch.NodeEvents["rrc_state_change"], rep.NodeEvents["rrc_state_change"])
+		}
+	})
+}
+
+// TestSnapshotMidStream checks that a live snapshot halfway through the
+// session is a usable prefix report: same cell, partial duration, and
+// event counts that only grow as the stream completes.
+func TestSnapshotMidStream(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := simulate(t, ran.Amarisoft(), 5, 12*sim.Second)
+	recs := records(t, set)
+	s := New(analyzer, Config{})
+	half := len(recs) / 2
+	for _, rec := range recs[:half] {
+		if err := s.Push(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	if snap == nil || snap.CellName != set.CellName {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Duration <= 0 || snap.Duration > set.Duration {
+		t.Fatalf("snapshot duration %v outside (0, %v]", snap.Duration, set.Duration)
+	}
+	snapChains := snap.TotalChainEvents()
+	for _, rec := range recs[half:] {
+		if err := s.Push(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalChainEvents() < snapChains {
+		t.Fatalf("chain events shrank: %d then %d", snapChains, rep.TotalChainEvents())
+	}
+}
+
+// TestDropWindows checks the bounded-report mode: no per-window results
+// retained, event runs unchanged.
+func TestDropWindows(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := simulate(t, ran.Mosolabs(), 9, 10*sim.Second)
+	batch, err := analyzer.Analyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := streamReport(t, analyzer, records(t, set), Config{DropWindows: true})
+	if len(rep.Windows) != 0 {
+		t.Fatalf("DropWindows kept %d windows", len(rep.Windows))
+	}
+	if !reflect.DeepEqual(batch.NodeEvents, rep.NodeEvents) || !reflect.DeepEqual(batch.ChainEvents, rep.ChainEvents) {
+		t.Fatal("event runs diverged under DropWindows")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/domino5g/domino/internal/sim"
 )
@@ -15,6 +16,11 @@ import (
 // exports, pcap digests, WebRTC stats dumps) can be converted into it
 // with a few lines of scripting — this is the ingestion boundary where
 // Domino would meet real telemetry.
+//
+// Records are written merged in timestamp order (stable within each
+// source, ties broken by source: DCI, gNB, packet, stats, RRC), so a
+// written trace is directly consumable by a streaming analyzer with
+// O(window) buffering — the file replays like the live session did.
 
 type jsonLine struct {
 	Type string          `json:"type"`
@@ -27,7 +33,8 @@ type jsonHeader struct {
 	HasGNBLog bool   `json:"has_gnb_log"`
 }
 
-// WriteJSONL serializes the set.
+// WriteJSONL serializes the set: a header line, then every record in
+// timestamp order. The caller's set is not mutated.
 func WriteJSONL(w io.Writer, set *Set) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -41,95 +48,94 @@ func WriteJSONL(w io.Writer, set *Set) error {
 	if err := write("header", jsonHeader{CellName: set.CellName, Duration: int64(set.Duration), HasGNBLog: set.HasGNBLog}); err != nil {
 		return err
 	}
-	for _, r := range set.DCI {
-		if err := write("dci", r); err != nil {
-			return err
+
+	// Per-source stable orderings by the same keys Set.Sort uses,
+	// computed on index slices so the set itself stays untouched.
+	order := func(n int, at func(i int) sim.Time) []int {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
 		}
+		sort.SliceStable(idx, func(a, b int) bool { return at(idx[a]) < at(idx[b]) })
+		return idx
 	}
-	for _, r := range set.GNBLogs {
-		if err := write("gnb", r); err != nil {
-			return err
-		}
+	sources := []struct {
+		typ  string
+		idx  []int
+		at   func(i int) sim.Time
+		emit func(i int) error
+	}{
+		{"dci", order(len(set.DCI), func(i int) sim.Time { return set.DCI[i].At }),
+			func(i int) sim.Time { return set.DCI[i].At },
+			func(i int) error { return write("dci", set.DCI[i]) }},
+		{"gnb", order(len(set.GNBLogs), func(i int) sim.Time { return set.GNBLogs[i].At }),
+			func(i int) sim.Time { return set.GNBLogs[i].At },
+			func(i int) error { return write("gnb", set.GNBLogs[i]) }},
+		{"pkt", order(len(set.Packets), func(i int) sim.Time { return set.Packets[i].SentAt }),
+			func(i int) sim.Time { return set.Packets[i].SentAt },
+			func(i int) error { return write("pkt", set.Packets[i]) }},
+		{"stats", order(len(set.Stats), func(i int) sim.Time { return set.Stats[i].At }),
+			func(i int) sim.Time { return set.Stats[i].At },
+			func(i int) error { return write("stats", set.Stats[i]) }},
+		{"rrc", order(len(set.RRC), func(i int) sim.Time { return set.RRC[i].At }),
+			func(i int) sim.Time { return set.RRC[i].At },
+			func(i int) error { return write("rrc", set.RRC[i]) }},
 	}
-	for _, r := range set.Packets {
-		if err := write("pkt", r); err != nil {
+	pos := make([]int, len(sources))
+	for {
+		best, bestAt := -1, sim.MaxTime
+		for s := range sources {
+			if pos[s] >= len(sources[s].idx) {
+				continue
+			}
+			at := sources[s].at(sources[s].idx[pos[s]])
+			if best == -1 || at < bestAt {
+				best, bestAt = s, at
+			}
+		}
+		if best == -1 {
+			break
+		}
+		if err := sources[best].emit(sources[best].idx[pos[best]]); err != nil {
 			return err
 		}
-	}
-	for _, r := range set.Stats {
-		if err := write("stats", r); err != nil {
-			return err
-		}
-	}
-	for _, r := range set.RRC {
-		if err := write("rrc", r); err != nil {
-			return err
-		}
+		pos[best]++
 	}
 	return bw.Flush()
 }
 
-// ReadJSONL deserializes a set written by WriteJSONL.
+// ReadJSONL deserializes a set written by WriteJSONL. It is the batch
+// counterpart of NewStreamReader: the whole stream is drained into a
+// sorted Set.
 func ReadJSONL(r io.Reader) (*Set, error) {
 	set := &Set{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	lineNo := 0
-	sawHeader := false
-	for sc.Scan() {
-		lineNo++
-		var line jsonLine
-		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+	sr := NewStreamReader(r)
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
 		}
-		switch line.Type {
-		case "header":
-			var h jsonHeader
-			if err := json.Unmarshal(line.Data, &h); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			set.CellName = h.CellName
-			set.Duration = sim.Time(h.Duration)
-			set.HasGNBLog = h.HasGNBLog
-			sawHeader = true
-		case "dci":
-			var v DCIRecord
-			if err := json.Unmarshal(line.Data, &v); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			set.DCI = append(set.DCI, v)
-		case "gnb":
-			var v GNBLogRecord
-			if err := json.Unmarshal(line.Data, &v); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			set.GNBLogs = append(set.GNBLogs, v)
-		case "pkt":
-			var v PacketRecord
-			if err := json.Unmarshal(line.Data, &v); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			set.Packets = append(set.Packets, v)
-		case "stats":
-			var v WebRTCStatsRecord
-			if err := json.Unmarshal(line.Data, &v); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			set.Stats = append(set.Stats, v)
-		case "rrc":
-			var v RRCRecord
-			if err := json.Unmarshal(line.Data, &v); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			set.RRC = append(set.RRC, v)
-		default:
-			return nil, fmt.Errorf("trace: line %d: unknown record type %q", lineNo, line.Type)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case rec.Header != nil:
+			set.CellName = rec.Header.CellName
+			set.Duration = rec.Header.Duration
+			set.HasGNBLog = rec.Header.HasGNBLog
+		case rec.DCI != nil:
+			set.DCI = append(set.DCI, *rec.DCI)
+		case rec.GNB != nil:
+			set.GNBLogs = append(set.GNBLogs, *rec.GNB)
+		case rec.Packet != nil:
+			set.Packets = append(set.Packets, *rec.Packet)
+		case rec.Stats != nil:
+			set.Stats = append(set.Stats, *rec.Stats)
+		case rec.RRC != nil:
+			set.RRC = append(set.RRC, *rec.RRC)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if !sawHeader {
+	if _, ok := sr.Header(); !ok {
 		return nil, fmt.Errorf("trace: missing header line")
 	}
 	set.Sort()

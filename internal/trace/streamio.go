@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// Header is the stream metadata carried by a trace's first JSONL line.
+// Duration may be zero for open-ended live captures whose length is
+// unknown until the stream ends.
+type Header struct {
+	CellName  string
+	Duration  sim.Time
+	HasGNBLog bool
+}
+
+// Record is one streamed trace line: exactly one field is non-nil. It
+// is the unit of ingestion for the streaming analysis subsystem — a
+// live collector produces Records in (approximately) timestamp order
+// and feeds them to a stream analyzer without ever materializing a
+// full Set.
+type Record struct {
+	Header *Header
+	DCI    *DCIRecord
+	GNB    *GNBLogRecord
+	Packet *PacketRecord
+	Stats  *WebRTCStatsRecord
+	RRC    *RRCRecord
+}
+
+// Time returns the record's primary timestamp (send time for packets)
+// and whether it has one; header records carry no timestamp.
+func (r Record) Time() (sim.Time, bool) {
+	switch {
+	case r.DCI != nil:
+		return r.DCI.At, true
+	case r.GNB != nil:
+		return r.GNB.At, true
+	case r.Packet != nil:
+		return r.Packet.SentAt, true
+	case r.Stats != nil:
+		return r.Stats.At, true
+	case r.RRC != nil:
+		return r.RRC.At, true
+	}
+	return 0, false
+}
+
+// IsZero reports whether the record carries nothing.
+func (r Record) IsZero() bool {
+	return r.Header == nil && r.DCI == nil && r.GNB == nil &&
+		r.Packet == nil && r.Stats == nil && r.RRC == nil
+}
+
+// StreamReader decodes a JSONL trace incrementally, one record per
+// Next call, without buffering the full set. It accepts exactly the
+// format WriteJSONL produces and keeps the same per-line error
+// reporting as the batch ReadJSONL (which is built on top of it).
+type StreamReader struct {
+	sc     *bufio.Scanner
+	lineNo int
+	hdr    *Header
+	err    error
+}
+
+// NewStreamReader returns a streaming decoder over r.
+func NewStreamReader(r io.Reader) *StreamReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &StreamReader{sc: sc}
+}
+
+// Header returns the stream header once it has been read.
+func (sr *StreamReader) Header() (Header, bool) {
+	if sr.hdr == nil {
+		return Header{}, false
+	}
+	return *sr.hdr, true
+}
+
+// Line returns the number of lines consumed so far.
+func (sr *StreamReader) Line() int { return sr.lineNo }
+
+// Next returns the next record. It returns io.EOF at a clean end of
+// stream; any other error is terminal and repeated on later calls.
+func (sr *StreamReader) Next() (Record, error) {
+	if sr.err != nil {
+		return Record{}, sr.err
+	}
+	if !sr.sc.Scan() {
+		if err := sr.sc.Err(); err != nil {
+			sr.err = fmt.Errorf("trace: line %d: %w", sr.lineNo+1, err)
+		} else {
+			sr.err = io.EOF
+		}
+		return Record{}, sr.err
+	}
+	sr.lineNo++
+	fail := func(err error) (Record, error) {
+		sr.err = fmt.Errorf("trace: line %d: %w", sr.lineNo, err)
+		return Record{}, sr.err
+	}
+	var line jsonLine
+	if err := json.Unmarshal(sr.sc.Bytes(), &line); err != nil {
+		return fail(err)
+	}
+	switch line.Type {
+	case "header":
+		var h jsonHeader
+		if err := json.Unmarshal(line.Data, &h); err != nil {
+			return fail(err)
+		}
+		hdr := Header{CellName: h.CellName, Duration: sim.Time(h.Duration), HasGNBLog: h.HasGNBLog}
+		sr.hdr = &hdr
+		return Record{Header: &hdr}, nil
+	case "dci":
+		var v DCIRecord
+		if err := json.Unmarshal(line.Data, &v); err != nil {
+			return fail(err)
+		}
+		return Record{DCI: &v}, nil
+	case "gnb":
+		var v GNBLogRecord
+		if err := json.Unmarshal(line.Data, &v); err != nil {
+			return fail(err)
+		}
+		return Record{GNB: &v}, nil
+	case "pkt":
+		var v PacketRecord
+		if err := json.Unmarshal(line.Data, &v); err != nil {
+			return fail(err)
+		}
+		return Record{Packet: &v}, nil
+	case "stats":
+		var v WebRTCStatsRecord
+		if err := json.Unmarshal(line.Data, &v); err != nil {
+			return fail(err)
+		}
+		return Record{Stats: &v}, nil
+	case "rrc":
+		var v RRCRecord
+		if err := json.Unmarshal(line.Data, &v); err != nil {
+			return fail(err)
+		}
+		return Record{RRC: &v}, nil
+	default:
+		return fail(fmt.Errorf("unknown record type %q", line.Type))
+	}
+}
