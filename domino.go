@@ -13,6 +13,14 @@
 // Trace sets come either from the built-in 5G+WebRTC simulator (see
 // NewSession / Presets) or from external telemetry converted to the
 // JSONL trace format (ReadTrace).
+//
+// For live (in-call) diagnosis, the streaming subsystem analyzes a
+// session while it is still running, holding only the sliding window:
+//
+//	sa := domino.NewStreamAnalyzer(analyzer, domino.StreamConfig{})
+//	report, _ := domino.StreamRecords(jsonlStream, sa)
+//
+// cmd/dominod packages the same path as an always-on ingest service.
 package domino
 
 import (
@@ -22,6 +30,7 @@ import (
 	"github.com/domino5g/domino/internal/ran"
 	"github.com/domino5g/domino/internal/rtc"
 	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/stream"
 	"github.com/domino5g/domino/internal/trace"
 )
 
@@ -48,6 +57,28 @@ type (
 	CellConfig = ran.CellConfig
 	// Time is a simulation timestamp in microseconds.
 	Time = sim.Time
+
+	// WindowResult is the detection output for one window position.
+	WindowResult = core.WindowResult
+	// EventRun is one collapsed per-node event run.
+	EventRun = core.EventRun
+	// ChainRun is one collapsed per-chain event run.
+	ChainRun = core.ChainRun
+
+	// TraceRecord is one streamed trace record (exactly one field set).
+	TraceRecord = trace.Record
+	// TraceHeader is the stream metadata record.
+	TraceHeader = trace.Header
+	// TraceStreamReader decodes a JSONL trace one record at a time.
+	TraceStreamReader = trace.StreamReader
+	// StreamAnalyzer incrementally analyzes one session's record stream
+	// with O(window) buffered state.
+	StreamAnalyzer = stream.Analyzer
+	// StreamConfig parameterizes a StreamAnalyzer (lateness slack,
+	// live-emission callbacks).
+	StreamConfig = stream.Config
+	// StreamStats counts a stream's progress.
+	StreamStats = stream.Stats
 )
 
 // DefaultChainsText is the paper's Fig. 9 causal graph in DSL form (24
@@ -112,5 +143,41 @@ func PresetByName(name string) (CellConfig, error) { return ran.PresetByName(nam
 // ReadTrace loads a JSONL trace set.
 func ReadTrace(r io.Reader) (*TraceSet, error) { return trace.ReadJSONL(r) }
 
-// WriteTrace stores a trace set as JSONL.
+// WriteTrace stores a trace set as JSONL, records merged in timestamp
+// order so the file replays through the streaming analyzer like the
+// live session did.
 func WriteTrace(w io.Writer, set *TraceSet) error { return trace.WriteJSONL(w, set) }
+
+// NewTraceStreamReader returns an incremental JSONL trace decoder that
+// yields one record per Next call without buffering the full set.
+func NewTraceStreamReader(r io.Reader) *TraceStreamReader { return trace.NewStreamReader(r) }
+
+// NewStreamAnalyzer returns an incremental analyzer for one session's
+// record stream, driving the given (shared, immutable) Analyzer. Push
+// records in timestamp order (up to cfg.Lateness slack) and Close for
+// the final report — identical, for the same records, to a batch
+// Analyze over the equivalent trace set.
+func NewStreamAnalyzer(a *Analyzer, cfg StreamConfig) *StreamAnalyzer {
+	return stream.New(a, cfg)
+}
+
+// StreamRecords pipes a JSONL trace stream record-by-record into sa
+// and returns the final report. It is the streaming counterpart of
+// ReadTrace + Analyze: the full trace is never held in memory, only
+// the sliding detection window.
+func StreamRecords(r io.Reader, sa *StreamAnalyzer) (*Report, error) {
+	sr := trace.NewStreamReader(r)
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := sa.Push(rec); err != nil {
+			return nil, err
+		}
+	}
+	return sa.Close()
+}

@@ -108,6 +108,57 @@ func TestAnalyzeBatchConcurrent(t *testing.T) {
 	}
 }
 
+// TestPublicStreamingMatchesBatch exercises the streaming façade: a
+// trace streamed record-by-record through NewStreamAnalyzer +
+// StreamRecords must reproduce the batch Analyze report.
+func TestPublicStreamingMatchesBatch(t *testing.T) {
+	cell, err := PresetByName("fdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(DefaultSessionConfig(cell, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sess.Run(10 * Second)
+
+	analyzer, err := NewAnalyzer(DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := analyzer.Analyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	var windows int
+	sa := NewStreamAnalyzer(analyzer, StreamConfig{
+		OnWindow: func(WindowResult) { windows++ },
+	})
+	streamed, err := StreamRecords(&buf, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows != len(batch.Windows) {
+		t.Fatalf("streamed %d windows, batch %d", windows, len(batch.Windows))
+	}
+	if streamed.TotalChainEvents() != batch.TotalChainEvents() {
+		t.Fatalf("chain events: stream %d, batch %d", streamed.TotalChainEvents(), batch.TotalChainEvents())
+	}
+	for _, node := range append(CauseClasses(), ConsequenceClasses()...) {
+		if streamed.EventCount(node) != batch.EventCount(node) {
+			t.Fatalf("node %s: stream %d events, batch %d", node, streamed.EventCount(node), batch.EventCount(node))
+		}
+	}
+	if stats := sa.Stats(); stats.MaxBuffered == 0 || stats.Records == 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+}
+
 func TestPublicChainParsing(t *testing.T) {
 	g, err := ParseChainsString(DefaultChainsText)
 	if err != nil {
