@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check test bench dominod-smoke ci
+.PHONY: build vet fmt fmt-check test bench bench-json dominod-smoke ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,17 @@ test:
 # through the batch engine (sequential and parallel) as a smoke test.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Machine-readable perf snapshot: stream-vs-batch analyzer throughput
+# plus per-scenario trace-generation throughput, as JSON. CI uploads
+# BENCH_scenarios.json as an artifact to start the perf trajectory.
+# Two recipe lines, not a pipe: a bench failure must fail the target,
+# and benchjson itself rejects input with no benchmark lines.
+bench-json:
+	$(GO) test -bench='BenchmarkStreamAnalyzer|BenchmarkScenarioTraceGen' \
+		-benchtime=1x -run='^$$' . > BENCH_raw.txt
+	$(GO) run ./cmd/benchjson < BENCH_raw.txt > BENCH_scenarios.json && rm -f BENCH_raw.txt
+	@echo "wrote BENCH_scenarios.json"
 
 # End-to-end smoke of the live ingest service: start dominod, POST 8
 # concurrent generated session streams, assert each /report/{id}

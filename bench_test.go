@@ -12,6 +12,7 @@ import (
 	"github.com/domino5g/domino/internal/experiments"
 	"github.com/domino5g/domino/internal/ran"
 	"github.com/domino5g/domino/internal/rtc"
+	"github.com/domino5g/domino/internal/scenario"
 	"github.com/domino5g/domino/internal/sim"
 	"github.com/domino5g/domino/internal/stream"
 	"github.com/domino5g/domino/internal/trace"
@@ -170,6 +171,35 @@ func BenchmarkFig20Freeze(b *testing.B)           { benchExperiment(b, "fig20") 
 func BenchmarkFig21GCCTargetRate(b *testing.B)    { benchExperiment(b, "fig21") }
 func BenchmarkFig22Pushback(b *testing.B)         { benchExperiment(b, "fig22") }
 func BenchmarkHeadlineEventsPerMin(b *testing.B)  { benchExperiment(b, "headline") }
+func BenchmarkScenarioCatalog(b *testing.B)       { benchExperiment(b, "scenarios") }
+
+// BenchmarkScenarioTraceGen measures trace-generation throughput per
+// registered scenario: one simulated call per iteration, reporting
+// emitted trace records per wall-clock second. Together with
+// BenchmarkStreamAnalyzer these feed `make bench-json`
+// (BENCH_scenarios.json), the perf-trajectory artifact CI uploads.
+func BenchmarkScenarioTraceGen(b *testing.B) {
+	for _, name := range scenario.Names() {
+		b.Run(name, func(b *testing.B) {
+			sc, err := scenario.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var total float64
+			for i := 0; i < b.N; i++ {
+				sess, err := sc.Build(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				set := sess.Run(benchDuration)
+				c := set.Counts()
+				total += float64(c.DCI + c.GNBLog + c.Packets + c.WebRTC)
+			}
+			b.ReportMetric(total/b.Elapsed().Seconds(), "records/s")
+			b.ReportMetric(benchDuration.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
+		})
+	}
+}
 
 // --- Component benchmarks: simulator throughput and analyzer cost. ---
 

@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can publish benchmark metrics (records/s throughput,
+// ns/op, custom ReportMetric units) as a machine-readable artifact and
+// track the performance trajectory across commits.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkStreamAnalyzer|BenchmarkScenarioTraceGen' \
+//	    -benchtime=1x -run '^$' . | benchjson > BENCH_scenarios.json
+//
+// Non-benchmark lines (goos/goarch headers, PASS/ok trailers, test log
+// output) are ignored, so the whole `go test` stream can be piped in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix
+	// stripped (e.g. "BenchmarkScenarioTraceGen/harq-storm").
+	Name string `json:"name"`
+	// Iterations is the b.N the line reports.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every "value unit" pair on the
+	// line (ns/op, B/op, allocs/op, records/s, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(in io.Reader, stdout, stderr io.Writer) int {
+	doc := document{Benchmarks: []benchResult{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	if len(doc.Benchmarks) == 0 {
+		// An empty document means the bench run produced nothing — a
+		// misspelled -bench pattern or a swallowed failure upstream.
+		// Fail loudly instead of publishing a hollow artifact.
+		fmt.Fprintln(stderr, "benchjson: no benchmark result lines in input")
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+// parseLine decodes one `go test -bench` result line of the form
+//
+//	BenchmarkName-8   12   98765 ns/op   3.2e+06 records/s
+//
+// reporting ok=false for anything else.
+func parseLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	name := fields[0]
+	// Strip the trailing -GOMAXPROCS decoration, keeping sub-benchmark
+	// path segments intact.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := benchResult{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/domino5g/domino
+BenchmarkStreamAnalyzer/stream-8         	       1	  3072625 ns/op	 1177 B/op	       5 allocs/op	 3303142 records/s	    4519 max-buffered-samples
+BenchmarkScenarioTraceGen/harq-storm-8   	       1	182944708 ns/op	  812345 records/s	 109.3 sim-s/s
+BenchmarkScenarioTraceGen/rtcp-stall     	       2	 90000000 ns/op
+PASS
+ok  	github.com/domino5g/domino	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(strings.NewReader(sample), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name       string             `json:"name"`
+			Iterations int64              `json:"iterations"`
+			Metrics    map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	first := doc.Benchmarks[0]
+	if first.Name != "BenchmarkStreamAnalyzer/stream" || first.Iterations != 1 {
+		t.Fatalf("first benchmark parsed wrong: %+v", first)
+	}
+	if first.Metrics["records/s"] != 3303142 || first.Metrics["ns/op"] != 3072625 {
+		t.Fatalf("metrics parsed wrong: %v", first.Metrics)
+	}
+	// A sub-benchmark without the -N suffix keeps its full name.
+	if doc.Benchmarks[2].Name != "BenchmarkScenarioTraceGen/rtcp-stall" || doc.Benchmarks[2].Iterations != 2 {
+		t.Fatalf("third benchmark parsed wrong: %+v", doc.Benchmarks[2])
+	}
+}
+
+// TestEmptyInputFails pins the hollow-artifact guard: input with no
+// benchmark lines (swallowed upstream failure, bad -bench pattern)
+// must exit nonzero instead of emitting an empty document.
+func TestEmptyInputFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(strings.NewReader("goos: linux\nPASS\n"), &stdout, &stderr); code == 0 {
+		t.Fatal("empty bench input accepted")
+	}
+	if !strings.Contains(stderr.String(), "no benchmark result lines") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"", "PASS", "ok  	github.com/domino5g/domino	12.3s",
+		"goos: linux", "Benchmark", "BenchmarkX notanumber",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("parseLine accepted noise line %q", line)
+		}
+	}
+}

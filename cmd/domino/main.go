@@ -90,7 +90,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("streaming trace: %w", err))
 	}
 
-	fmt.Fprintf(stdout, "trace: %s (%v, %d chains configured)\n\n", report.CellName, report.Duration, len(analyzer.Chains()))
+	label := report.CellName
+	if report.Scenario != "" {
+		label += ", scenario " + report.Scenario
+	}
+	fmt.Fprintf(stdout, "trace: %s (%v, %d chains configured)\n\n", label, report.Duration, len(analyzer.Chains()))
 	fmt.Fprintln(stdout, "5G causes (events/min):")
 	for _, c := range domino.CauseClasses() {
 		fmt.Fprintf(stdout, "  %-18s %6.2f\n", c, report.EventsPerMinute(c))

@@ -376,6 +376,7 @@ func (s *server) fail(sess *session, msg string) {
 type sessionInfo struct {
 	Session           string  `json:"session"`
 	Cell              string  `json:"cell"`
+	Scenario          string  `json:"scenario,omitempty"`
 	State             string  `json:"state"`
 	Error             string  `json:"error,omitempty"`
 	Records           int     `json:"records"`
@@ -422,6 +423,7 @@ func (s *server) snapshot(sess *session) (*core.Report, sessionInfo) {
 	}
 	if hdr, ok := sess.sa.Header(); ok {
 		info.Cell = hdr.CellName
+		info.Scenario = hdr.Scenario
 		info.DurationUs = int64(hdr.Duration)
 	}
 	rep := sess.final

@@ -1,10 +1,18 @@
 // Command tracegen simulates a two-party WebRTC call over one of the
-// paper's 5G cell presets and writes the resulting cross-layer trace
-// as JSONL for analysis with cmd/domino.
+// paper's 5G cell presets — or over any registered or user-supplied
+// scenario — and writes the resulting cross-layer trace as JSONL for
+// analysis with cmd/domino.
 //
 // Usage:
 //
 //	tracegen -cell amarisoft -duration 60 -seed 7 -o call.jsonl
+//	tracegen -scenario midcall-snr-collapse -duration 40 -o collapse.jsonl
+//	tracegen -scenario-file examples/scenarios/custom-degraded-cell.json
+//	tracegen -list-scenarios
+//
+// -cell selects a bare Table 1 preset; -scenario a registered scenario
+// by name; -scenario-file a declarative scenario JSON. The three are
+// mutually exclusive; with none given the amarisoft preset is used.
 package main
 
 import (
@@ -19,48 +27,128 @@ import (
 )
 
 func main() {
-	cell := flag.String("cell", "amarisoft", "cell preset: fdd, tdd, amarisoft, mosolabs")
-	duration := flag.Int("duration", 60, "call duration in seconds")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	out := flag.String("o", "-", "output path ('-' for stdout)")
-	csvDir := flag.String("csv", "", "also write packets.csv/dci.csv/stats.csv into this directory")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	cfg, err := domino.PresetByName(*cell)
-	if err != nil {
-		fatal(err)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cell := fs.String("cell", "", "cell preset (default amarisoft); see -list-scenarios for scenarios instead")
+	scenarioName := fs.String("scenario", "", "registered scenario name (mutually exclusive with -cell)")
+	scenarioFile := fs.String("scenario-file", "", "path to a scenario JSON file (mutually exclusive with -cell/-scenario)")
+	listScenarios := fs.Bool("list-scenarios", false, "print the registered scenario catalog and exit")
+	duration := fs.Int("duration", 60, "call duration in seconds (must be > 0)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	out := fs.String("o", "-", "output path ('-' for stdout)")
+	csvDir := fs.String("csv", "", "also write packets.csv/dci.csv/stats.csv into this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	sess, err := domino.NewSession(domino.DefaultSessionConfig(cfg, *seed))
+
+	usageErr := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "tracegen: "+format+"\n", a...)
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+
+	if *listScenarios {
+		for _, s := range domino.Scenarios() {
+			fmt.Fprintf(stdout, "%-24s cell=%-12s %s\n", s.Name, s.Cell, s.Description)
+		}
+		return 0
+	}
+	if *duration <= 0 {
+		return usageErr("-duration must be > 0, got %d", *duration)
+	}
+	selected := 0
+	for _, f := range []string{*cell, *scenarioName, *scenarioFile} {
+		if f != "" {
+			selected++
+		}
+	}
+	if selected > 1 {
+		return usageErr("-cell, -scenario, and -scenario-file are mutually exclusive")
+	}
+
+	// Resolve the workload: scenario file, registered scenario, or bare
+	// cell preset (bare presets run through their registered scenario so
+	// every trace is labeled).
+	var sc domino.Scenario
+	switch {
+	case *scenarioFile != "":
+		f, err := os.Open(*scenarioFile)
+		if err != nil {
+			return fail(err)
+		}
+		sc, err = domino.ParseScenario(f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+	case *scenarioName != "":
+		s, err := domino.ScenarioByName(*scenarioName)
+		if err != nil {
+			return usageErr("%v", err)
+		}
+		sc = s
+	default:
+		name := *cell
+		if name == "" {
+			name = "amarisoft"
+		}
+		cfg, err := domino.PresetByName(name)
+		if err != nil {
+			return usageErr("%v", err)
+		}
+		sc = presetScenario(cfg)
+	}
+
+	sess, err := domino.NewScenarioSession(sc, *seed)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	set := sess.Run(domino.Time(*duration) * domino.Second)
 
-	w := os.Stdout
+	w := io.Writer(stdout)
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := domino.WriteTrace(w, set); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *csvDir != "" {
 		if err := trace.WriteCSVBundle(func(name string) (io.WriteCloser, error) {
 			return os.Create(filepath.Join(*csvDir, name))
 		}, set); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	c := set.Counts()
-	fmt.Fprintf(os.Stderr, "tracegen: %s, %ds: %d DCI, %d gNB, %d packets, %d stats records\n",
-		cfg.Name, *duration, c.DCI, c.GNBLog, c.Packets, c.WebRTC)
+	fmt.Fprintf(stderr, "tracegen: %s (scenario %s), %ds: %d DCI, %d gNB, %d packets, %d stats records\n",
+		set.CellName, sc.Name, *duration, c.DCI, c.GNBLog, c.Packets, c.WebRTC)
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+// presetScenario maps a resolved cell preset to its registered
+// dynamics-free scenario, so bare -cell traces carry the canonical
+// scenario label; an unregistered cell gets an ad hoc wrapper.
+func presetScenario(cfg domino.CellConfig) domino.Scenario {
+	for _, s := range domino.Scenarios() {
+		if len(s.Dynamics) != 0 {
+			continue
+		}
+		if c, err := s.CellConfig(); err == nil && c.Name == cfg.Name {
+			return s
+		}
+	}
+	return domino.Scenario{Name: cfg.Name, Cell: cfg.Name}
 }

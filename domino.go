@@ -29,6 +29,7 @@ import (
 	"github.com/domino5g/domino/internal/core"
 	"github.com/domino5g/domino/internal/ran"
 	"github.com/domino5g/domino/internal/rtc"
+	"github.com/domino5g/domino/internal/scenario"
 	"github.com/domino5g/domino/internal/sim"
 	"github.com/domino5g/domino/internal/stream"
 	"github.com/domino5g/domino/internal/trace"
@@ -64,6 +65,12 @@ type (
 	EventRun = core.EventRun
 	// ChainRun is one collapsed per-chain event run.
 	ChainRun = core.ChainRun
+
+	// Scenario is a declarative workload: a base cell preset plus a
+	// schedule of timed, per-layer dynamics.
+	Scenario = scenario.Scenario
+	// ScenarioDynamic is one timed perturbation inside a scenario.
+	ScenarioDynamic = scenario.Dynamic
 
 	// TraceRecord is one streamed trace record (exactly one field set).
 	TraceRecord = trace.Record
@@ -136,9 +143,33 @@ func DefaultSessionConfig(cell CellConfig, seed uint64) SessionConfig {
 // Presets returns the paper's four cell configurations (Table 1).
 func Presets() []CellConfig { return ran.Presets() }
 
-// PresetByName looks a preset up by name ("fdd", "tdd", "amarisoft",
-// "mosolabs", or the full Table 1 name).
+// PresetByName looks a preset up case-insensitively by slug, alias,
+// or full Table 1 name ("fdd", "tdd", "amarisoft", "mosolabs",
+// "T-Mobile 15MHz FDD"); unknown names report the valid slugs.
 func PresetByName(name string) (CellConfig, error) { return ran.PresetByName(name) }
+
+// CellNames returns the registered cell preset slugs.
+func CellNames() []string { return ran.CellNames() }
+
+// Scenarios returns the registered scenario catalog in registration
+// order: the four Table 1 presets followed by the degradation
+// scenarios, each provoking a different causal chain.
+func Scenarios() []Scenario { return scenario.All() }
+
+// ScenarioNames returns the registered scenario names.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName looks a registered scenario up case-insensitively;
+// unknown names report the valid ones.
+func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
+
+// ParseScenario decodes and validates one scenario from JSON.
+func ParseScenario(r io.Reader) (Scenario, error) { return scenario.Parse(r) }
+
+// NewScenarioSession builds a simulated call for the scenario at the
+// given seed, with every dynamic armed; Run it to obtain a trace
+// labeled with the scenario name.
+func NewScenarioSession(s Scenario, seed uint64) (*Session, error) { return s.Build(seed) }
 
 // ReadTrace loads a JSONL trace set.
 func ReadTrace(r io.Reader) (*TraceSet, error) { return trace.ReadJSONL(r) }

@@ -1,0 +1,80 @@
+package domino
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestScenarioFacadeEndToEnd drives the public scenario API: resolve a
+// registered scenario, simulate it, serialize the trace, and stream it
+// back through the analyzer — the report must carry both the cell and
+// the scenario label end to end.
+func TestScenarioFacadeEndToEnd(t *testing.T) {
+	if len(ScenarioNames()) < 12 {
+		t.Fatalf("facade lists %d scenarios, want >= 12", len(ScenarioNames()))
+	}
+	sc, err := ScenarioByName("harq-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewScenarioSession(sc, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sess.Run(6 * Second)
+	if set.Scenario != "harq-storm" {
+		t.Fatalf("trace scenario label %q", set.Scenario)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	analyzer, err := NewAnalyzer(DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := StreamRecords(&buf, NewStreamAnalyzer(analyzer, StreamConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Scenario != "harq-storm" || report.CellName != "Amarisoft 20MHz TDD" {
+		t.Fatalf("report labels: cell=%q scenario=%q", report.CellName, report.Scenario)
+	}
+
+	// JSON round trip through the facade parser.
+	blob, err := sc.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseScenario(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != sc.Name || len(back.Dynamics) != len(sc.Dynamics) {
+		t.Fatalf("facade round trip mismatch: %+v", back)
+	}
+}
+
+// TestPresetByNameCaseInsensitive pins the satellite contract: lookups
+// ignore case and unknown names enumerate the valid slugs.
+func TestPresetByNameCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"AMARISOFT", "Amarisoft", "T-MOBILE 15MHZ FDD", "FDD", " mosolabs "} {
+		if _, err := PresetByName(name); err != nil {
+			t.Fatalf("PresetByName(%q): %v", name, err)
+		}
+	}
+	_, err := PresetByName("ericsson")
+	if err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	for _, want := range []string{"tmobile-tdd", "tmobile-fdd", "amarisoft", "mosolabs"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list %q", err, want)
+		}
+	}
+	if len(CellNames()) != 4 {
+		t.Fatalf("CellNames() = %v", CellNames())
+	}
+}

@@ -74,6 +74,10 @@ type ChainRun struct {
 // Report is the full analysis result for one trace set.
 type Report struct {
 	CellName string
+	// Scenario labels the report with the generating scenario's name
+	// when the trace carried one, so multi-scenario sweeps stay
+	// attributable.
+	Scenario string
 	Duration sim.Time
 	Windows  []WindowResult
 
@@ -96,6 +100,7 @@ func (a *Analyzer) Analyze(set *trace.Set) (*Report, error) {
 	}
 	ix := newIndexedTrace(set)
 	inc := a.NewIncremental(set.CellName)
+	inc.SetScenario(set.Scenario)
 	end := set.Duration - a.cfg.Window
 	for start := sim.Time(0); start <= end; start += a.cfg.Step {
 		inc.Step(ix.evalWindow(a.cfg, start))

@@ -104,6 +104,10 @@ func (a *Analyzer) NewIncremental(cellName string) *Incremental {
 // runs instead of window count.
 func (inc *Incremental) SetKeepWindows(keep bool) { inc.keepWindows = keep }
 
+// SetScenario labels the report under construction with the name of
+// the scenario that generated the session's trace.
+func (inc *Incremental) SetScenario(name string) { inc.rep.Scenario = name }
+
 // Step consumes the feature vector of the next window position and
 // returns its WindowResult together with the node and chain runs that
 // closed at this step (in graph-node and chain-ID order respectively).
@@ -219,6 +223,7 @@ func (inc *Incremental) Snapshot(asOf sim.Time) *Report {
 	rep := inc.rep
 	cp := &Report{
 		CellName:    rep.CellName,
+		Scenario:    rep.Scenario,
 		Duration:    asOf,
 		Windows:     rep.Windows[:len(rep.Windows):len(rep.Windows)],
 		NodeEvents:  make(map[string][]EventRun, len(rep.NodeEvents)),

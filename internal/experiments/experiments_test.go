@@ -19,6 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "table2", "table4", "fig11", "headline",
 		"fig12", "fig13", "fig14", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22",
+		"scenarios",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

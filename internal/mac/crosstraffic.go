@@ -12,17 +12,17 @@ import (
 // asymmetric (DL-dominant) cross load.
 type CrossTrafficConfig struct {
 	// UEs is the number of background users.
-	UEs int
+	UEs int `json:"ues"`
 	// BurstRate is the expected bursts per minute per UE.
-	BurstRate float64
+	BurstRate float64 `json:"burst_rate"`
 	// BurstDuration is the mean burst length.
-	BurstDuration sim.Time
+	BurstDuration sim.Time `json:"burst_duration_us"`
 	// BurstPRBFraction is the mean fraction of the carrier a bursting
 	// UE demands.
-	BurstPRBFraction float64
+	BurstPRBFraction float64 `json:"burst_prb_fraction"`
 	// BaselineFraction is the always-on background demand fraction
 	// (light chatter from idle-ish UEs).
-	BaselineFraction float64
+	BaselineFraction float64 `json:"baseline_fraction"`
 }
 
 // QuietCell returns a no-cross-traffic profile (private cells in the
@@ -76,6 +76,16 @@ type scriptedBurst struct {
 func NewCrossTraffic(cfg CrossTrafficConfig, totalPRB int, rng *sim.RNG) *CrossTraffic {
 	return &CrossTraffic{cfg: cfg, rng: rng.Fork(), totalPRB: totalPRB}
 }
+
+// SetConfig replaces the generator's stochastic profile from the next
+// DemandPRBs call onward. Bursts already in flight keep their end
+// times; only arrival statistics and demand fractions change. Scenario
+// dynamics schedule this on the simulation engine to model load-regime
+// shifts (e.g. a quiet cell entering rush hour mid-call).
+func (ct *CrossTraffic) SetConfig(cfg CrossTrafficConfig) { ct.cfg = cfg }
+
+// Config returns the generator's current profile.
+func (ct *CrossTraffic) Config() CrossTrafficConfig { return ct.cfg }
 
 // ScriptBurst injects a deterministic background load of the given
 // carrier fraction during [start, end) — used by the Fig. 13 scenario.

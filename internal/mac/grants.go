@@ -9,23 +9,23 @@ type GrantConfig struct {
 	// SchedulingDelay is the BSR-to-usable-grant latency (the paper
 	// measured 5–25 ms across its four cells). It folds together the
 	// BSR opportunity wait, gNB processing, and the k2 grant offset.
-	SchedulingDelay sim.Time
+	SchedulingDelay sim.Time `json:"scheduling_delay_us"`
 	// BSRPeriod is the minimum spacing between buffer status reports.
-	BSRPeriod sim.Time
+	BSRPeriod sim.Time `json:"bsr_period_us"`
 	// MaxGrantBytes caps a single grant (large buffers are served
 	// across multiple grants, creating the multi-TB bursts of Fig. 14).
-	MaxGrantBytes int
+	MaxGrantBytes int `json:"max_grant_bytes"`
 	// MinGrantBytes floors a single grant. Real schedulers never issue
 	// grants smaller than one PRB's transport block; without the floor,
 	// per-PDU header overhead fragments the tail of a buffer into
 	// grants too small to carry any payload. Zero selects the default.
-	MinGrantBytes int
+	MinGrantBytes int `json:"min_grant_bytes,omitempty"`
 	// Proactive enables Mosolabs-style pre-scheduled small grants.
-	Proactive bool
+	Proactive bool `json:"proactive,omitempty"`
 	// ProactivePeriod is the spacing of proactive grants.
-	ProactivePeriod sim.Time
+	ProactivePeriod sim.Time `json:"proactive_period_us,omitempty"`
 	// ProactiveBytes is the size of each proactive grant.
-	ProactiveBytes int
+	ProactiveBytes int `json:"proactive_bytes,omitempty"`
 }
 
 // DefaultGrantConfig returns a mid-range request–grant configuration.
@@ -85,6 +85,21 @@ func NewULScheduler(cfg GrantConfig) *ULScheduler {
 	}
 	return &ULScheduler{cfg: cfg, lastProactive: -sim.MaxTime / 2, lastBSRAt: -sim.MaxTime / 2}
 }
+
+// SetConfig replaces the grant policy from the next UL slot onward.
+// Grants already in flight keep their original usability times and
+// sizes — exactly like a real gNB reconfiguration, which cannot recall
+// issued DCIs. Scenario dynamics schedule this on the simulation
+// engine to model scheduler-policy shifts (e.g. grant starvation).
+func (s *ULScheduler) SetConfig(cfg GrantConfig) {
+	if cfg.MinGrantBytes <= 0 {
+		cfg.MinGrantBytes = DefaultMinGrantBytes
+	}
+	s.cfg = cfg
+}
+
+// Config returns the scheduler's current grant policy.
+func (s *ULScheduler) Config() GrantConfig { return s.cfg }
 
 // OnULSlot advances the state machine at an uplink-capable slot
 // occurring at now, with the UE's current RLC buffer occupancy.

@@ -66,6 +66,28 @@ type scriptedDip struct {
 	depthDB    float64
 }
 
+// scriptedRamp is a deterministic, persistent SNR offset injected by
+// scenarios: zero before start, linearly interpolated to deltaDB at
+// end, and held at deltaDB afterwards. A negative delta models a
+// lasting degradation (mid-call SNR collapse); a positive one a
+// lasting improvement.
+type scriptedRamp struct {
+	start, end sim.Time
+	deltaDB    float64
+}
+
+// offsetAt returns the ramp's contribution at time now.
+func (r scriptedRamp) offsetAt(now sim.Time) float64 {
+	switch {
+	case now < r.start:
+		return 0
+	case now >= r.end:
+		return r.deltaDB
+	default:
+		return r.deltaDB * float64(now-r.start) / float64(r.end-r.start)
+	}
+}
+
 // Channel is the evolving SNR process for one UE/direction. Sample is
 // called once per slot by the MAC; the process advances lazily based on
 // elapsed time, so slot rate does not bias the statistics.
@@ -78,6 +100,7 @@ type Channel struct {
 	dipUntil sim.Time
 	dipDepth float64
 	scripted []scriptedDip
+	ramps    []scriptedRamp
 }
 
 // NewChannel creates a channel process with its own forked RNG stream.
@@ -95,6 +118,18 @@ func NewChannel(cfg ChannelConfig, rng *sim.RNG) *Channel {
 func (c *Channel) ScriptDip(start, end sim.Time, depthDB float64) {
 	c.scripted = append(c.scripted, scriptedDip{start: start, end: end, depthDB: depthDB})
 	sort.Slice(c.scripted, func(i, j int) bool { return c.scripted[i].start < c.scripted[j].start })
+}
+
+// ScriptRamp schedules a persistent SNR offset that grows linearly
+// from 0 at start to deltaDB at end and stays at deltaDB for the rest
+// of the run. start == end applies the full offset as a step at start.
+// Unlike ScriptDip, the offset never clears — scenario builders use it
+// for lasting mean-SNR shifts such as a mid-call channel collapse.
+func (c *Channel) ScriptRamp(start, end sim.Time, deltaDB float64) {
+	if end < start {
+		end = start
+	}
+	c.ramps = append(c.ramps, scriptedRamp{start: start, end: end, deltaDB: deltaDB})
 }
 
 // Sample advances the process to time now and returns the instantaneous
@@ -131,6 +166,9 @@ func (c *Channel) Sample(now sim.Time) float64 {
 		if now >= d.start && now < d.end {
 			snr -= d.depthDB
 		}
+	}
+	for _, r := range c.ramps {
+		snr += r.offsetAt(now)
 	}
 	return snr
 }

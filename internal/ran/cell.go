@@ -207,6 +207,41 @@ func (c *Cell) DLCross() *mac.CrossTraffic { return c.dl.cross }
 // RRC exposes the RRC machine for scripting.
 func (c *Cell) RRC() *rrc.Machine { return c.rrcm }
 
+// ULSched exposes the uplink grant scheduler for scenario scripting
+// (grant-policy shifts scheduled as simulation events).
+func (c *Cell) ULSched() *mac.ULScheduler { return c.ulSched }
+
+// Channel returns the channel process for one direction.
+func (c *Cell) Channel(dir netem.Direction) *phy.Channel {
+	if dir == netem.Uplink {
+		return c.ul.channel
+	}
+	return c.dl.channel
+}
+
+// Cross returns the cross-traffic generator for one direction.
+func (c *Cell) Cross(dir netem.Direction) *mac.CrossTraffic {
+	if dir == netem.Uplink {
+		return c.ul.cross
+	}
+	return c.dl.cross
+}
+
+// SetMaxUEShare changes the scheduler-fairness cap on the experiment
+// UE's PRB share from the next slot onward. Scenario dynamics schedule
+// it on the simulation engine to model a fairness-policy change (e.g.
+// the cell admitting a high-priority slice that squeezes the UE).
+// Values outside (0, 1] are clamped.
+func (c *Cell) SetMaxUEShare(share float64) {
+	if share <= 0 {
+		share = 1.0 / float64(c.totalPRB)
+	}
+	if share > 1 {
+		share = 1
+	}
+	c.cfg.MaxUEShare = share
+}
+
 // TotalPRB returns the carrier's PRB count.
 func (c *Cell) TotalPRB() int { return c.totalPRB }
 

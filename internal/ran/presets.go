@@ -2,6 +2,7 @@ package ran
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/domino5g/domino/internal/mac"
 	"github.com/domino5g/domino/internal/phy"
@@ -150,28 +151,77 @@ func Mosolabs() CellConfig {
 	}
 }
 
-// Presets returns the four paper cells in Table 1 order.
-func Presets() []CellConfig {
-	return []CellConfig{TMobileTDD(), TMobileFDD(), Amarisoft(), Mosolabs()}
+// cellEntry is one registered cell: a stable slug, optional short
+// aliases, and the constructor producing a fresh CellConfig.
+type cellEntry struct {
+	slug    string
+	aliases []string
+	build   func() CellConfig
 }
 
-// PresetByName looks up a preset by a case-sensitive substring of its
-// name ("FDD", "100MHz", "Amarisoft", "Mosolabs").
-func PresetByName(name string) (CellConfig, error) {
-	for _, c := range Presets() {
-		if name == c.Name {
-			return c, nil
+// cellRegistry holds every registered cell in registration order. The
+// four Table 1 cells register below; scenario packages and tests may
+// RegisterCell additional bases.
+var cellRegistry []cellEntry
+
+// RegisterCell adds a cell constructor under a stable slug (plus
+// optional aliases). It panics on an empty slug, a nil constructor, or
+// a slug/alias collision — registration errors are programming bugs.
+func RegisterCell(slug string, build func() CellConfig, aliases ...string) {
+	if slug == "" || build == nil {
+		panic("ran: RegisterCell needs a slug and a constructor")
+	}
+	for _, n := range append([]string{slug}, aliases...) {
+		if _, err := PresetByName(n); err == nil {
+			panic("ran: duplicate cell registration " + n)
 		}
 	}
-	switch name {
-	case "tmobile-fdd", "fdd":
-		return TMobileFDD(), nil
-	case "tmobile-tdd", "tdd":
-		return TMobileTDD(), nil
-	case "amarisoft":
-		return Amarisoft(), nil
-	case "mosolabs":
-		return Mosolabs(), nil
+	cellRegistry = append(cellRegistry, cellEntry{slug: strings.ToLower(slug), aliases: aliases, build: build})
+}
+
+func init() {
+	// Table 1 order: the registration order is the Presets() order, so
+	// every artifact rendered from Presets() keeps its historical rows.
+	RegisterCell("tmobile-tdd", TMobileTDD, "tdd")
+	RegisterCell("tmobile-fdd", TMobileFDD, "fdd")
+	RegisterCell("amarisoft", Amarisoft)
+	RegisterCell("mosolabs", Mosolabs)
+}
+
+// Presets returns every registered cell in registration order — for
+// the seed registry, the four paper cells in Table 1 order.
+func Presets() []CellConfig {
+	out := make([]CellConfig, len(cellRegistry))
+	for i, e := range cellRegistry {
+		out[i] = e.build()
 	}
-	return CellConfig{}, fmt.Errorf("ran: unknown cell preset %q", name)
+	return out
+}
+
+// CellNames returns the registered cell slugs in registration order.
+func CellNames() []string {
+	out := make([]string, len(cellRegistry))
+	for i, e := range cellRegistry {
+		out[i] = e.slug
+	}
+	return out
+}
+
+// PresetByName looks up a registered cell case-insensitively by slug
+// ("tmobile-fdd"), alias ("fdd"), or full Table 1 name ("T-Mobile
+// 15MHz FDD"). Unknown names report the valid slugs.
+func PresetByName(name string) (CellConfig, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	for _, e := range cellRegistry {
+		if n == e.slug || strings.EqualFold(name, e.build().Name) {
+			return e.build(), nil
+		}
+		for _, a := range e.aliases {
+			if n == strings.ToLower(a) {
+				return e.build(), nil
+			}
+		}
+	}
+	return CellConfig{}, fmt.Errorf("ran: unknown cell preset %q (valid: %s)",
+		name, strings.Join(CellNames(), ", "))
 }

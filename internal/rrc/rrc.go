@@ -88,6 +88,15 @@ func (m *Machine) ScriptRelease(at sim.Time) {
 	m.scripted = append(m.scripted, at)
 }
 
+// SetConfig replaces the stochastic release behaviour from the next
+// Poll onward; an outage already in progress keeps its reconnect time.
+// Scenario dynamics schedule this on the simulation engine to model a
+// bounded flaky phase (releases only between two instants of the call).
+func (m *Machine) SetConfig(cfg Config) { m.cfg = cfg }
+
+// Config returns the machine's current configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
 // Poll advances the machine to now and reports whether the UE is
 // connected (able to transmit/receive).
 func (m *Machine) Poll(now sim.Time) bool {

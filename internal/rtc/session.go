@@ -19,6 +19,10 @@ type SessionConfig struct {
 	Local  ClientConfig
 	Remote ClientConfig
 	Seed   uint64
+	// ScenarioName labels the session's trace (and every report derived
+	// from it) with the generating scenario. Empty for plain preset
+	// sessions, which keeps their serialized traces unchanged.
+	ScenarioName string
 }
 
 // DefaultSessionConfig returns a session on the given cell preset with
@@ -73,6 +77,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	rng := sim.NewRNG(cfg.Seed)
 	s := &Session{Engine: engine}
 	s.Collector = trace.NewCollector(cfg.Cell.Name, cfg.Cell.HasGNBLog)
+	s.Collector.Set.Scenario = cfg.ScenarioName
 
 	ss := sessionStats{s}
 	s.Local = NewClient(engine, rng, cfg.Local, ss, s.Collector)

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// TestCatalogProvokesIntendedNodes is the catalog's self-test
+// contract: every registered scenario that declares Provokes must
+// actually trigger those causal-graph nodes in the Domino report of a
+// 30 s run — each scenario exercises the chain it documents.
+func TestCatalogProvokesIntendedNodes(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed, dur = 3, 30 * sim.Second
+	provoking := 0
+	for _, s := range All() {
+		if len(s.Provokes) == 0 {
+			continue
+		}
+		provoking++
+		sess, err := s.Build(seed)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		set := sess.Run(dur)
+		rep, err := analyzer.Analyze(set)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if rep.Scenario != s.Name {
+			t.Errorf("%s: report labeled %q", s.Name, rep.Scenario)
+		}
+		for _, node := range s.Provokes {
+			if rep.EventCount(node) == 0 {
+				t.Errorf("%s: intended node %q never fired (nodes with events: %v)",
+					s.Name, node, firedNodes(rep))
+			}
+		}
+	}
+	if provoking < 8 {
+		t.Fatalf("only %d scenarios declare Provokes, want >= 8 degradation scenarios", provoking)
+	}
+}
+
+func firedNodes(rep *core.Report) []string {
+	var out []string
+	for n, runs := range rep.NodeEvents {
+		if len(runs) > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/rtc"
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+// traceBytes builds the scenario at seed, runs it, and serializes the
+// trace to JSONL.
+func traceBytes(t *testing.T, s Scenario, seed uint64, d sim.Time) []byte {
+	t.Helper()
+	sess, err := s.Build(seed)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	set := sess.Run(d)
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, set); err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	return buf.Bytes()
+}
+
+// splitHeader separates a JSONL trace into its header line and the
+// record lines.
+func splitHeader(t *testing.T, b []byte) (string, []byte) {
+	t.Helper()
+	i := bytes.IndexByte(b, '\n')
+	if i < 0 {
+		t.Fatal("trace has no header line")
+	}
+	return string(b[:i]), b[i+1:]
+}
+
+// TestPresetScenariosMatchLegacyPresets is the refactor's differential
+// pin: for every Table 1 preset, the scenario-built session must
+// produce byte-identical trace records to the pre-registry path
+// (rtc.DefaultSessionConfig over the ran constructor) at the same
+// seed. Only the header may differ, and only by the scenario label.
+func TestPresetScenariosMatchLegacyPresets(t *testing.T) {
+	legacy := map[string]func() ran.CellConfig{
+		"tmobile-tdd": ran.TMobileTDD,
+		"tmobile-fdd": ran.TMobileFDD,
+		"amarisoft":   ran.Amarisoft,
+		"mosolabs":    ran.Mosolabs,
+	}
+	const seed, dur = 11, 10 * sim.Second
+	for name, build := range legacy {
+		sc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sc.Dynamics) != 0 {
+			t.Fatalf("%s: preset scenario has dynamics", name)
+		}
+
+		sess, err := rtc.NewSession(rtc.DefaultSessionConfig(build(), seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var legacyBuf bytes.Buffer
+		if err := trace.WriteJSONL(&legacyBuf, sess.Run(dur)); err != nil {
+			t.Fatal(err)
+		}
+		legacyHdr, legacyRecs := splitHeader(t, legacyBuf.Bytes())
+		scHdr, scRecs := splitHeader(t, traceBytes(t, sc, seed, dur))
+
+		if !bytes.Equal(legacyRecs, scRecs) {
+			t.Fatalf("%s: scenario records differ from legacy preset records", name)
+		}
+		if !strings.Contains(scHdr, `"scenario":"`+name+`"`) {
+			t.Fatalf("%s: scenario header not labeled: %s", name, scHdr)
+		}
+		// Removing the label must recover the legacy header exactly.
+		if got := strings.Replace(scHdr, `"scenario":"`+name+`",`, "", 1); got != legacyHdr {
+			t.Fatalf("%s: headers differ beyond the scenario label\nlegacy:   %s\nscenario: %s", name, legacyHdr, scHdr)
+		}
+	}
+}
+
+// TestScenarioDeterminismAndJSONRoundTrip is the catalog's golden
+// determinism pin: every registered scenario produces byte-identical
+// JSONL across two independent runs at the same seed, and a scenario
+// reconstructed from its own JSON produces the same bytes again
+// (Marshal → Unmarshal → identical trace).
+func TestScenarioDeterminismAndJSONRoundTrip(t *testing.T) {
+	const seed, dur = 7, 12 * sim.Second
+	for _, s := range All() {
+		first := traceBytes(t, s, seed, dur)
+		if second := traceBytes(t, s, seed, dur); !bytes.Equal(first, second) {
+			t.Fatalf("%s: two runs at seed %d differ", s.Name, seed)
+		}
+		blob, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		var back Scenario
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if roundTripped := traceBytes(t, back, seed, dur); !bytes.Equal(first, roundTripped) {
+			t.Fatalf("%s: JSON round-tripped scenario produced a different trace", s.Name)
+		}
+	}
+}

@@ -143,6 +143,7 @@ func (s *Analyzer) Push(rec trace.Record) error {
 		s.hdr = &h
 		s.eval = s.core.NewWindowEvaluator(h.HasGNBLog)
 		s.inc = s.core.NewIncremental(h.CellName)
+		s.inc.SetScenario(h.Scenario)
 		if s.cfg.DropWindows {
 			s.inc.SetKeepWindows(false)
 		}

@@ -28,7 +28,10 @@ type jsonLine struct {
 }
 
 type jsonHeader struct {
-	CellName  string `json:"cell_name"`
+	CellName string `json:"cell_name"`
+	// Scenario is omitted when empty so pre-scenario traces round-trip
+	// byte-identically.
+	Scenario  string `json:"scenario,omitempty"`
 	Duration  int64  `json:"duration_us"`
 	HasGNBLog bool   `json:"has_gnb_log"`
 }
@@ -45,7 +48,7 @@ func WriteJSONL(w io.Writer, set *Set) error {
 		}
 		return enc.Encode(jsonLine{Type: typ, Data: data})
 	}
-	if err := write("header", jsonHeader{CellName: set.CellName, Duration: int64(set.Duration), HasGNBLog: set.HasGNBLog}); err != nil {
+	if err := write("header", jsonHeader{CellName: set.CellName, Scenario: set.Scenario, Duration: int64(set.Duration), HasGNBLog: set.HasGNBLog}); err != nil {
 		return err
 	}
 
@@ -121,6 +124,7 @@ func ReadJSONL(r io.Reader) (*Set, error) {
 		switch {
 		case rec.Header != nil:
 			set.CellName = rec.Header.CellName
+			set.Scenario = rec.Header.Scenario
 			set.Duration = rec.Header.Duration
 			set.HasGNBLog = rec.Header.HasGNBLog
 		case rec.DCI != nil:

@@ -14,6 +14,11 @@ import (
 type Set struct {
 	// Meta describes the capture.
 	CellName string
+	// Scenario names the registered scenario that generated the trace
+	// (empty for plain preset captures and external telemetry), so
+	// downstream reports stay labeled with the workload that produced
+	// them.
+	Scenario string
 	Duration sim.Time
 
 	DCI     []DCIRecord

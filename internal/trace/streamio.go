@@ -13,7 +13,10 @@ import (
 // Duration may be zero for open-ended live captures whose length is
 // unknown until the stream ends.
 type Header struct {
-	CellName  string
+	CellName string
+	// Scenario names the generating scenario; empty for plain preset
+	// captures, keeping their serialized form unchanged.
+	Scenario  string
 	Duration  sim.Time
 	HasGNBLog bool
 }
@@ -114,7 +117,7 @@ func (sr *StreamReader) Next() (Record, error) {
 		if err := json.Unmarshal(line.Data, &h); err != nil {
 			return fail(err)
 		}
-		hdr := Header{CellName: h.CellName, Duration: sim.Time(h.Duration), HasGNBLog: h.HasGNBLog}
+		hdr := Header{CellName: h.CellName, Scenario: h.Scenario, Duration: sim.Time(h.Duration), HasGNBLog: h.HasGNBLog}
 		sr.hdr = &hdr
 		return Record{Header: &hdr}, nil
 	case "dci":
