@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -321,7 +322,7 @@ func BenchmarkAblationProactiveGrants(b *testing.B) {
 // (much slower) RLC layer.
 func BenchmarkAblationHARQLimit(b *testing.B) {
 	for _, maxAttempts := range []int{2, 5, 8} {
-		b.Run("maxAttempts="+string(rune('0'+maxAttempts)), func(b *testing.B) {
+		b.Run("maxAttempts="+strconv.Itoa(maxAttempts), func(b *testing.B) {
 			var rlcRetx uint64
 			for i := 0; i < b.N; i++ {
 				cfg := ran.Amarisoft()

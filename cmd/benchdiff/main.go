@@ -1,0 +1,254 @@
+// Command benchdiff compares a fresh benchmark snapshot (benchjson
+// output) against a committed baseline and fails when performance
+// regressed beyond a threshold — the enforcement half of the perf
+// trajectory that benchjson records.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_scenarios.json -current BENCH_fresh.json \
+//	    [-max-regress 0.30] [-o BENCH_diff.txt]
+//
+// Gating is direction-aware and restricted to metrics that encode a
+// performance contract:
+//
+//   - throughput metrics (any unit ending in "/s": records/s, sim-s/s,
+//     events/s, rec/s) must not drop more than the threshold;
+//   - allocation metrics (allocs/op, allocs/rec, B/op) must not grow
+//     more than the threshold.
+//
+// ns/op is deliberately not gated: every throughput metric above is
+// derived from the same clock, and ns/op additionally appears on lines
+// (like artifact-regeneration smoke benchmarks) whose runtime is not a
+// contract. Benchmarks present only in the baseline fail the diff (a
+// silently vanished benchmark is how perf contracts rot); benchmarks
+// present only in the current run are reported as unbaselined, and
+// improvements beyond the threshold are flagged as re-baseline hints.
+//
+// Exit codes: 0 pass, 1 regression (or vanished benchmark), 2 usage or
+// I/O error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// document mirrors cmd/benchjson's output schema.
+type document struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// direction classifies how a metric should be compared.
+type direction int
+
+const (
+	skip direction = iota
+	higherBetter
+	lowerBetter
+)
+
+func metricDirection(unit string) direction {
+	switch {
+	case strings.HasSuffix(unit, "/s"):
+		return higherBetter
+	case unit == "allocs/op" || unit == "allocs/rec" || unit == "B/op":
+		return lowerBetter
+	default:
+		return skip
+	}
+}
+
+// delta is one gated comparison result.
+type delta struct {
+	bench, unit         string
+	baseline, current   float64
+	change              float64 // signed relative change, positive = better
+	regressed, improved bool
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_scenarios.json", "committed baseline benchjson document")
+	currentPath := fs.String("current", "", "fresh benchjson document to compare (required)")
+	maxRegress := fs.Float64("max-regress", 0.30, "maximum tolerated relative regression (0.30 = 30%)")
+	outPath := fs.String("o", "", "also write the report to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *currentPath == "" {
+		fmt.Fprintln(stderr, "benchdiff: -current is required")
+		fs.Usage()
+		return 2
+	}
+	if *maxRegress <= 0 || *maxRegress >= 1 {
+		fmt.Fprintln(stderr, "benchdiff: -max-regress must be in (0,1)")
+		return 2
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	report, failed := diff(baseline, current, *maxRegress)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+	}
+	fmt.Fprint(stdout, report)
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func load(path string) (map[string]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]benchResult, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		out[b.Name] = b
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return out, nil
+}
+
+// diff renders the comparison report and reports whether the gate
+// failed.
+func diff(baseline, current map[string]benchResult, maxRegress float64) (string, bool) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	var regressions, vanished []string
+	improvements := 0
+	fmt.Fprintf(&sb, "benchdiff: gate at %.0f%% regression\n\n", maxRegress*100)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			vanished = append(vanished, name)
+			continue
+		}
+		units := make([]string, 0, len(base.Metrics))
+		for unit := range base.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			dir := metricDirection(unit)
+			if dir == skip {
+				continue
+			}
+			bv := base.Metrics[unit]
+			cv, ok := cur.Metrics[unit]
+			if !ok {
+				vanished = append(vanished, name+" ["+unit+"]")
+				continue
+			}
+			d := compare(bv, cv, unit, dir, maxRegress)
+			d.bench, d.unit = name, unit
+			status := "ok"
+			if d.regressed {
+				status = "REGRESSED"
+				regressions = append(regressions, fmt.Sprintf("%s [%s]: %.4g -> %.4g (%+.1f%%)", name, unit, bv, cv, d.change*100))
+			} else if d.improved {
+				status = "improved (consider re-baselining)"
+				improvements++
+			}
+			fmt.Fprintf(&sb, "%-60s %-12s %12.4g -> %-12.4g %+6.1f%%  %s\n", name, unit, bv, cv, d.change*100, status)
+		}
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			fmt.Fprintf(&sb, "%-60s (new, unbaselined — run `make bench-json` to add it)\n", name)
+		}
+	}
+	sb.WriteString("\n")
+	failed := false
+	if len(vanished) > 0 {
+		failed = true
+		fmt.Fprintf(&sb, "FAIL: %d baselined benchmark(s)/metric(s) missing from the current run:\n", len(vanished))
+		for _, v := range vanished {
+			fmt.Fprintf(&sb, "  - %s\n", v)
+		}
+	}
+	if len(regressions) > 0 {
+		failed = true
+		fmt.Fprintf(&sb, "FAIL: %d metric(s) regressed beyond %.0f%%:\n", len(regressions), maxRegress*100)
+		for _, r := range regressions {
+			fmt.Fprintf(&sb, "  - %s\n", r)
+		}
+	}
+	if !failed {
+		fmt.Fprintf(&sb, "PASS: no metric regressed beyond %.0f%% (%d improvement(s) beyond threshold)\n", maxRegress*100, improvements)
+	}
+	return sb.String(), failed
+}
+
+// compare evaluates one metric pair. change is signed so that positive
+// is always an improvement regardless of direction.
+func compare(baseline, current float64, unit string, dir direction, maxRegress float64) delta {
+	d := delta{baseline: baseline, current: current}
+	switch {
+	case baseline == 0:
+		// Zero baselines cannot regress relatively, so the zero-alloc
+		// contract is enforced with absolute tolerances: half an
+		// allocation for allocs/* (a real per-op allocation is always
+		// ≥1; testing's integer rounding can hide up to that much) and
+		// 16 bytes for B/op (catches a large amortized buffer that
+		// rounds to 0 allocs/op), while measurement noise amortized
+		// over thousands of records cannot trip CI.
+		if dir == lowerBetter {
+			switch {
+			case strings.HasPrefix(unit, "allocs/") && current > 0.5,
+				unit == "B/op" && current > 16:
+				d.regressed = true
+				d.change = -1
+			}
+		}
+	case dir == higherBetter:
+		d.change = current/baseline - 1
+		d.regressed = d.change < -maxRegress
+		d.improved = d.change > maxRegress
+	case dir == lowerBetter:
+		d.change = 1 - current/baseline
+		d.regressed = d.change < -maxRegress
+		d.improved = d.change > maxRegress
+	}
+	return d
+}

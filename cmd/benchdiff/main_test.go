@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineDoc = `{"benchmarks":[
+	{"name":"BenchmarkScenarioTraceGen/amarisoft","iterations":1,"metrics":{"ns/op":1e7,"records/s":1000000,"sim-s/s":1000}},
+	{"name":"BenchmarkCodecEncode/fast","iterations":1,"metrics":{"rec/s":5000000,"allocs/rec":0}},
+	{"name":"BenchmarkCodecDecode/fast","iterations":1,"metrics":{"rec/s":2000000,"allocs/rec":1}}
+]}`
+
+func runDiff(t *testing.T, baseline, current string, extra ...string) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	b := writeDoc(t, dir, "base.json", baseline)
+	c := writeDoc(t, dir, "cur.json", current)
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-baseline", b, "-current", c}, extra...)
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String() + stderr.String()
+}
+
+func TestBenchdiffPass(t *testing.T) {
+	current := strings.ReplaceAll(baselineDoc, `"sim-s/s":1000`, `"sim-s/s":950`)
+	code, out := runDiff(t, baselineDoc, current)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("no PASS in report:\n%s", out)
+	}
+}
+
+func TestBenchdiffThroughputRegression(t *testing.T) {
+	current := strings.ReplaceAll(baselineDoc, `"sim-s/s":1000`, `"sim-s/s":600`)
+	code, out := runDiff(t, baselineDoc, current)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "sim-s/s") {
+		t.Fatalf("regression not reported:\n%s", out)
+	}
+}
+
+func TestBenchdiffNsOpNotGated(t *testing.T) {
+	// ns/op tripling alone must not fail the gate (throughput metrics
+	// carry the contract).
+	current := strings.ReplaceAll(baselineDoc, `"ns/op":1e7`, `"ns/op":3e7`)
+	code, out := runDiff(t, baselineDoc, current)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (ns/op is not gated)\n%s", code, out)
+	}
+}
+
+func TestBenchdiffAllocRegression(t *testing.T) {
+	// allocs/rec growing 1 -> 2 is a 100% regression on a lower-better
+	// metric.
+	current := strings.ReplaceAll(baselineDoc, `"rec/s":2000000,"allocs/rec":1`, `"rec/s":2000000,"allocs/rec":2`)
+	code, out := runDiff(t, baselineDoc, current)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "allocs/rec") {
+		t.Fatalf("alloc regression not reported:\n%s", out)
+	}
+}
+
+func TestBenchdiffZeroAllocContract(t *testing.T) {
+	// A zero-alloc baseline must reject a real per-record allocation…
+	current := strings.ReplaceAll(baselineDoc, `"rec/s":5000000,"allocs/rec":0`, `"rec/s":5000000,"allocs/rec":1`)
+	code, out := runDiff(t, baselineDoc, current)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "BenchmarkCodecEncode/fast") {
+		t.Fatalf("zero-alloc break not reported:\n%s", out)
+	}
+	// …but tolerate sub-half-alloc measurement noise.
+	noisy := strings.ReplaceAll(baselineDoc, `"rec/s":5000000,"allocs/rec":0`, `"rec/s":5000000,"allocs/rec":0.002`)
+	if code, out := runDiff(t, baselineDoc, noisy); code != 0 {
+		t.Fatalf("noise tripped the zero-alloc gate: exit = %d\n%s", code, out)
+	}
+}
+
+func TestBenchdiffZeroByteBaseline(t *testing.T) {
+	// A zero-B/op baseline must catch a large amortized buffer that
+	// rounds to 0 allocs/op…
+	base := strings.ReplaceAll(baselineDoc, `"rec/s":5000000,"allocs/rec":0`, `"rec/s":5000000,"allocs/rec":0,"B/op":0`)
+	grown := strings.ReplaceAll(baselineDoc, `"rec/s":5000000,"allocs/rec":0`, `"rec/s":5000000,"allocs/rec":0,"B/op":300`)
+	code, out := runDiff(t, base, grown)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (B/op grew from zero)\n%s", code, out)
+	}
+	if !strings.Contains(out, "B/op") {
+		t.Fatalf("B/op regression not reported:\n%s", out)
+	}
+	// …while a few stray bytes pass.
+	noisy := strings.ReplaceAll(baselineDoc, `"rec/s":5000000,"allocs/rec":0`, `"rec/s":5000000,"allocs/rec":0,"B/op":8`)
+	if code, out := runDiff(t, base, noisy); code != 0 {
+		t.Fatalf("byte noise tripped the gate: exit = %d\n%s", code, out)
+	}
+}
+
+func TestBenchdiffVanishedBenchmarkFails(t *testing.T) {
+	current := `{"benchmarks":[
+		{"name":"BenchmarkScenarioTraceGen/amarisoft","iterations":1,"metrics":{"records/s":1000000,"sim-s/s":1000}},
+		{"name":"BenchmarkCodecEncode/fast","iterations":1,"metrics":{"rec/s":5000000,"allocs/rec":0}}
+	]}`
+	code, out := runDiff(t, baselineDoc, current)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (vanished benchmark)\n%s", code, out)
+	}
+	if !strings.Contains(out, "BenchmarkCodecDecode/fast") || !strings.Contains(out, "missing") {
+		t.Fatalf("vanished benchmark not reported:\n%s", out)
+	}
+}
+
+func TestBenchdiffNewBenchmarkIsAdvisory(t *testing.T) {
+	current := strings.Replace(baselineDoc, `]}`, `,
+		{"name":"BenchmarkBrandNew","iterations":1,"metrics":{"rec/s":1}}]}`, 1)
+	code, out := runDiff(t, baselineDoc, current)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (new benchmark is advisory)\n%s", code, out)
+	}
+	if !strings.Contains(out, "unbaselined") {
+		t.Fatalf("new benchmark not surfaced:\n%s", out)
+	}
+}
+
+func TestBenchdiffImprovementHint(t *testing.T) {
+	current := strings.ReplaceAll(baselineDoc, `"sim-s/s":1000`, `"sim-s/s":2000`)
+	code, out := runDiff(t, baselineDoc, current)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "re-baselining") {
+		t.Fatalf("improvement hint missing:\n%s", out)
+	}
+}
+
+func TestBenchdiffThreshold(t *testing.T) {
+	// 25% drop passes at the default 30% gate, fails at 20%.
+	current := strings.ReplaceAll(baselineDoc, `"sim-s/s":1000`, `"sim-s/s":750`)
+	if code, out := runDiff(t, baselineDoc, current); code != 0 {
+		t.Fatalf("exit = %d, want 0 at default gate\n%s", code, out)
+	}
+	if code, out := runDiff(t, baselineDoc, current, "-max-regress", "0.2"); code != 1 {
+		t.Fatalf("exit = %d, want 1 at 20%% gate\n%s", code, out)
+	}
+}
+
+func TestBenchdiffReportFile(t *testing.T) {
+	dir := t.TempDir()
+	b := writeDoc(t, dir, "base.json", baselineDoc)
+	c := writeDoc(t, dir, "cur.json", baselineDoc)
+	report := filepath.Join(dir, "report.txt")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", b, "-current", c, "-o", report}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != stdout.String() {
+		t.Fatal("report file differs from stdout")
+	}
+}
+
+func TestBenchdiffUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing -current: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-baseline", "nope.json", "-current", "also-nope.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing files: exit = %d, want 2", code)
+	}
+	dir := t.TempDir()
+	b := writeDoc(t, dir, "base.json", baselineDoc)
+	c := writeDoc(t, dir, "cur.json", baselineDoc)
+	if code := run([]string{"-baseline", b, "-current", c, "-max-regress", "1.5"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad threshold: exit = %d, want 2", code)
+	}
+}

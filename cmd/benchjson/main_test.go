@@ -61,6 +61,84 @@ func TestEmptyInputFails(t *testing.T) {
 	}
 }
 
+// TestParseMultiPackageStream pins the scheduler/codec microbenchmark
+// coverage: `make bench-json` now concatenates bench output from the
+// root package plus internal/sim and internal/trace, so the parser must
+// handle multiple goos/pkg header blocks in one stream and keep the
+// custom events/s, rec/s, and allocs/rec metrics.
+func TestParseMultiPackageStream(t *testing.T) {
+	input := `goos: linux
+pkg: github.com/domino5g/domino
+BenchmarkScenarioTraceGen/amarisoft-8 	       1	  13835767 ns/op	 1616958 records/s	      1446 sim-s/s
+PASS
+ok  	github.com/domino5g/domino	1.2s
+goos: linux
+pkg: github.com/domino5g/domino/internal/sim
+BenchmarkEngineSchedule-8 	       1	  11268650 ns/op	  11631825 events/s	      42 B/op	       0 allocs/op
+PASS
+ok  	github.com/domino5g/domino/internal/sim	0.1s
+pkg: github.com/domino5g/domino/internal/trace
+BenchmarkCodecEncode/fast 	       1	    718107 ns/op	         0 allocs/rec	   5588143 rec/s	       0 B/op	       0 allocs/op
+ok  	github.com/domino5g/domino/internal/trace	0.1s
+`
+	var stdout, stderr bytes.Buffer
+	if code := run(strings.NewReader(input), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	if doc.Benchmarks[1].Name != "BenchmarkEngineSchedule" || doc.Benchmarks[1].Metrics["events/s"] != 11631825 {
+		t.Fatalf("scheduler microbenchmark parsed wrong: %+v", doc.Benchmarks[1])
+	}
+	codec := doc.Benchmarks[2]
+	if codec.Name != "BenchmarkCodecEncode/fast" || codec.Metrics["rec/s"] != 5588143 {
+		t.Fatalf("codec microbenchmark parsed wrong: %+v", codec)
+	}
+	if v, ok := codec.Metrics["allocs/rec"]; !ok || v != 0 {
+		t.Fatalf("allocs/rec metric lost: %+v", codec.Metrics)
+	}
+}
+
+// TestBestOfMerge pins the -count=N noise armor: repeated runs of one
+// benchmark collapse into a single entry keeping the max of throughput
+// metrics and the min of cost metrics.
+func TestBestOfMerge(t *testing.T) {
+	input := `BenchmarkScenarioTraceGen/amarisoft-8 	       3	  20000000 ns/op	 1000000 records/s	      700 sim-s/s
+BenchmarkScenarioTraceGen/amarisoft-8 	       3	  14000000 ns/op	 1500000 records/s	     1400 sim-s/s
+BenchmarkScenarioTraceGen/amarisoft-8 	       3	  16000000 ns/op	 1200000 records/s	     1100 sim-s/s
+`
+	var stdout, stderr bytes.Buffer
+	if code := run(strings.NewReader(input), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("merged to %d entries, want 1", len(doc.Benchmarks))
+	}
+	m := doc.Benchmarks[0].Metrics
+	if m["records/s"] != 1500000 || m["sim-s/s"] != 1400 || m["ns/op"] != 14000000 {
+		t.Fatalf("best-of merge wrong: %v", m)
+	}
+}
+
 func TestParseLineRejectsNoise(t *testing.T) {
 	for _, line := range []string{
 		"", "PASS", "ok  	github.com/domino5g/domino	12.3s",

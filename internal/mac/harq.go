@@ -26,6 +26,10 @@ type TB struct {
 	Proactive bool
 	// CarriesRLCRetx marks TBs containing RLC-retransmitted segments.
 	CarriesRLCRetx bool
+
+	// decoded carries the BLER draw from Transmit to the scheduled
+	// decode event, so the event needs no per-TB closure.
+	decoded bool
 }
 
 // HARQConfig parameterizes the retransmission process.
@@ -73,6 +77,11 @@ type HARQEntity struct {
 	// onOutcome observes every attempt conclusion (telemetry).
 	onOutcome func(HARQOutcome)
 
+	// decodeFn/retxFn are the ScheduleArg trampolines, built once so
+	// the per-TB decode and retx-due events allocate no closures.
+	decodeFn func(any)
+	retxFn   func(any)
+
 	// Stats
 	FirstTx   uint64
 	Retx      uint64
@@ -86,7 +95,7 @@ func NewHARQEntity(cfg HARQConfig, engine *sim.Engine, rng *sim.RNG,
 	onRetxDue func(tb *TB),
 	onOutcome func(HARQOutcome),
 ) *HARQEntity {
-	return &HARQEntity{
+	h := &HARQEntity{
 		cfg:         cfg,
 		engine:      engine,
 		rng:         rng.Fork(),
@@ -95,6 +104,13 @@ func NewHARQEntity(cfg HARQConfig, engine *sim.Engine, rng *sim.RNG,
 		onRetxDue:   onRetxDue,
 		onOutcome:   onOutcome,
 	}
+	h.decodeFn = func(a any) { h.decode(a.(*TB)) }
+	h.retxFn = func(a any) {
+		if h.onRetxDue != nil {
+			h.onRetxDue(a.(*TB))
+		}
+	}
+	return h
 }
 
 // Transmit processes a TB sent at the current time over a channel with
@@ -111,40 +127,38 @@ func (h *HARQEntity) Transmit(tb *TB, snrDB float64, decodeDelay sim.Time) {
 	for i := 0; i < tb.Attempt; i++ {
 		bler = phy.HARQRetxBLER(bler)
 	}
-	decoded := !h.rng.Bool(bler)
-	at := h.engine.Now() + decodeDelay
-	h.engine.Schedule(at, func() {
-		now := h.engine.Now()
-		if decoded {
-			h.emit(HARQOutcome{TB: tb, At: now, Decoded: true})
-			if h.onDecoded != nil {
-				h.onDecoded(tb, now)
-			}
-			return
+	tb.decoded = !h.rng.Bool(bler)
+	h.engine.ScheduleArg(h.engine.Now()+decodeDelay, h.decodeFn, tb)
+}
+
+// decode concludes one attempt when its decode event fires.
+func (h *HARQEntity) decode(tb *TB) {
+	now := h.engine.Now()
+	if tb.decoded {
+		h.emit(HARQOutcome{TB: tb, At: now, Decoded: true})
+		if h.onDecoded != nil {
+			h.onDecoded(tb, now)
 		}
-		if tb.Attempt+1 >= h.cfg.MaxAttempts {
-			h.Exhausted++
-			h.emit(HARQOutcome{TB: tb, At: now, Decoded: false, Exhausted: true})
-			if h.onExhausted != nil {
-				h.onExhausted(tb, now)
-			}
-			return
+		return
+	}
+	if tb.Attempt+1 >= h.cfg.MaxAttempts {
+		h.Exhausted++
+		h.emit(HARQOutcome{TB: tb, At: now, Decoded: false, Exhausted: true})
+		if h.onExhausted != nil {
+			h.onExhausted(tb, now)
 		}
-		h.emit(HARQOutcome{TB: tb, At: now, Decoded: false})
-		tb.Attempt++
-		// The retransmission becomes schedulable one HARQ RTT after the
-		// original transmission; when PRB contention already delayed
-		// earlier attempts past that point, it is due immediately.
-		due := tb.SentAt + h.cfg.RTT*sim.Time(tb.Attempt)
-		if due < now {
-			due = now
-		}
-		h.engine.Schedule(due, func() {
-			if h.onRetxDue != nil {
-				h.onRetxDue(tb)
-			}
-		})
-	})
+		return
+	}
+	h.emit(HARQOutcome{TB: tb, At: now, Decoded: false})
+	tb.Attempt++
+	// The retransmission becomes schedulable one HARQ RTT after the
+	// original transmission; when PRB contention already delayed
+	// earlier attempts past that point, it is due immediately.
+	due := tb.SentAt + h.cfg.RTT*sim.Time(tb.Attempt)
+	if due < now {
+		due = now
+	}
+	h.engine.ScheduleArg(due, h.retxFn, tb)
 }
 
 func (h *HARQEntity) emit(o HARQOutcome) {

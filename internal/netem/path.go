@@ -57,6 +57,11 @@ type Path struct {
 	// (e.g. injecting reverse-path delay for the Fig. 22 experiment).
 	extraDelays []delayWindow
 
+	// deliverFn is the delivery callback built once at construction and
+	// dispatched per packet via ScheduleArg, so sending a packet does
+	// not allocate a closure.
+	deliverFn func(any)
+
 	// Sent/Dropped count packets for loss accounting.
 	Sent    uint64
 	Dropped uint64
@@ -73,7 +78,13 @@ type delayWindow struct {
 
 // NewPath builds a path segment delivering into sink.
 func NewPath(engine *sim.Engine, rng *sim.RNG, cfg PathConfig, sink Sink) *Path {
-	return &Path{cfg: cfg, engine: engine, rng: rng.Fork(), sink: sink}
+	p := &Path{cfg: cfg, engine: engine, rng: rng.Fork(), sink: sink}
+	p.deliverFn = func(a any) {
+		pkt := a.(*Packet)
+		pkt.ArrivedAt = p.engine.Now()
+		p.sink(pkt)
+	}
+	return p
 }
 
 // Factory returns a LinkFactory for Chain composition.
@@ -133,8 +144,5 @@ func (p *Path) Send(pkt *Packet) {
 		deliverAt = p.lastDelivery
 	}
 	p.lastDelivery = deliverAt
-	p.engine.Schedule(deliverAt, func() {
-		pkt.ArrivedAt = p.engine.Now()
-		p.sink(pkt)
-	})
+	p.engine.ScheduleArg(deliverAt, p.deliverFn, pkt)
 }

@@ -79,6 +79,9 @@ type direction struct {
 
 	// pendingRetx holds HARQ retransmissions awaiting a usable slot.
 	pendingRetx []*mac.TB
+	// tbPool recycles concluded transport blocks (and their segment
+	// slices), so the slot loop builds TBs without allocating.
+	tbPool []*mac.TB
 	// grantCredit is UL-only: granted bytes not yet consumed.
 	grantCredit int
 	// proactiveCredit tracks the proactive share of grantCredit for
@@ -164,15 +167,41 @@ func (c *Cell) newDirection(dir netem.Direction, ch phy.ChannelConfig, la LinkAd
 		}
 	})
 	d.harq = mac.NewHARQEntity(c.cfg.HARQ, c.engine, c.rng,
-		func(tb *mac.TB, at sim.Time) { d.rx.Receive(tb.Segments, at) },
 		func(tb *mac.TB, at sim.Time) {
+			d.rx.Receive(tb.Segments, at)
+			d.recycleTB(tb)
+		},
+		func(tb *mac.TB, at sim.Time) {
+			// Nack copies the segments into the retx queue, so the TB
+			// is concluded here too.
 			d.tx.Nack(tb.Segments, at+c.cfg.RLCStatusDelay)
 			c.obs.OnGNBLog(trace.GNBLogRecord{At: at, Kind: trace.GNBLogRLCRetx, Dir: dir, Note: "harq exhausted"})
+			d.recycleTB(tb)
 		},
 		func(tb *mac.TB) { d.pendingRetx = append(d.pendingRetx, tb) },
 		nil,
 	)
 	return d
+}
+
+// takeTB pops a recycled transport block (or allocates the first time).
+func (d *direction) takeTB() *mac.TB {
+	if n := len(d.tbPool); n > 0 {
+		tb := d.tbPool[n-1]
+		d.tbPool = d.tbPool[:n-1]
+		return tb
+	}
+	return &mac.TB{}
+}
+
+// recycleTB returns a concluded TB to the pool, dropping its segment
+// references (they point at SDUs the pool must not keep alive) while
+// keeping the slice's backing array for the next FillTBInto.
+func (d *direction) recycleTB(tb *mac.TB) {
+	segs := tb.Segments
+	clear(segs)
+	*tb = mac.TB{Segments: segs[:0]}
+	d.tbPool = append(d.tbPool, tb)
 }
 
 // ULLink returns the link carrying traffic from the UE into the network.
@@ -405,12 +434,15 @@ func (c *Cell) transmit(d *direction, now sim.Time, mcs phy.MCS, snr float64, ow
 	if grantBytes > 0 && grantBytes < capacity {
 		capacity = grantBytes
 	}
-	segs, used := d.tx.FillTB(capacity, now)
+	tb := d.takeTB()
+	segs, used := d.tx.FillTBInto(tb.Segments[:0], capacity, now)
 	waste := capacity - used
 	if waste > 0 {
 		d.wastedBytes += uint64(waste)
 	}
 	if len(segs) == 0 {
+		tb.Segments = segs
+		d.tbPool = append(d.tbPool, tb)
 		// Grant went entirely unused (proactive grant with empty
 		// buffer, or over-granting): record the wasted allocation.
 		c.obs.OnDCI(trace.DCIRecord{
@@ -421,14 +453,14 @@ func (c *Cell) transmit(d *direction, now sim.Time, mcs phy.MCS, snr float64, ow
 		return
 	}
 	carriesRLCRetx := false
-	for _, s := range segs {
-		if s.RLCRetx {
+	for i := range segs {
+		if segs[i].RLCRetx {
 			carriesRLCRetx = true
 			break
 		}
 	}
 	c.nextTBID++
-	tb := &mac.TB{
+	*tb = mac.TB{
 		ID: c.nextTBID, Dir: d.dir, SentAt: now,
 		PRBs: ownPRB, MCS: mcs, TBSBits: tbsBits, UsedBits: used * 8,
 		Segments: segs, Proactive: proactive, CarriesRLCRetx: carriesRLCRetx,

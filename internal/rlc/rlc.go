@@ -116,6 +116,14 @@ func (tx *TxEntity) OldestEnqueuedAt() (sim.Time, bool) {
 // (matching gNB scheduler priority). It returns the segments and the
 // payload bytes consumed including per-segment header overhead.
 func (tx *TxEntity) FillTB(capacityBytes int, now sim.Time) (segs []Segment, used int) {
+	return tx.FillTBInto(nil, capacityBytes, now)
+}
+
+// FillTBInto is FillTB appending into buf (which the caller typically
+// recycles from a concluded transport block), so the steady-state slot
+// loop segments without allocating.
+func (tx *TxEntity) FillTBInto(buf []Segment, capacityBytes int, now sim.Time) (segs []Segment, used int) {
+	segs = buf
 	// Retransmissions first.
 	kept := tx.retx[:0]
 	for i, r := range tx.retx {
@@ -179,13 +187,20 @@ type DeliveredPacket struct {
 }
 
 // RxEntity is the receiver side of an RLC AM bearer. It reassembles
-// segments and delivers SDUs strictly in SN order.
+// segments and delivers SDUs strictly in SN order. Reassembly state
+// lives in a ring-buffer window indexed by SN offset from nextSN — the
+// hot path touches no maps and allocates nothing once the window has
+// grown to the bearer's in-flight depth.
 type RxEntity struct {
 	deliver func(DeliveredPacket)
 
-	// pending maps SN → reassembly state for SDUs at or above nextSN.
-	pending map[uint32]*rxSDU
-	nextSN  uint32
+	nextSN uint32
+	// win is the reassembly ring: the state for SN nextSN+k lives at
+	// win[(head+k) & (len(win)-1)]. len(win) is always a power of two.
+	win  []rxSDU
+	head int
+	// pendingCount tracks occupied ring entries (PendingSDUs).
+	pendingCount int
 
 	// HoLBlockedMax tracks the maximum burst released at once, a
 	// diagnostic for head-of-line blocking severity.
@@ -196,26 +211,46 @@ type rxSDU struct {
 	sdu        *SDU
 	received   int
 	total      int
+	active     bool
 	complete   bool
 	completeAt sim.Time
 }
 
 // NewRxEntity returns a receive entity delivering into the callback.
 func NewRxEntity(deliver func(DeliveredPacket)) *RxEntity {
-	return &RxEntity{deliver: deliver, pending: make(map[uint32]*rxSDU)}
+	return &RxEntity{deliver: deliver}
+}
+
+// slot returns the ring entry for SN nextSN+k, growing the window as
+// needed (doubling keeps the masked indexing valid).
+func (rx *RxEntity) slot(k uint32) *rxSDU {
+	if len(rx.win) == 0 || int(k) >= len(rx.win) {
+		size := 16
+		for size <= int(k) {
+			size *= 2
+		}
+		grown := make([]rxSDU, size)
+		for i := range rx.win {
+			grown[i] = rx.win[(rx.head+i)&(len(rx.win)-1)]
+		}
+		rx.win = grown
+		rx.head = 0
+	}
+	return &rx.win[(rx.head+int(k))&(len(rx.win)-1)]
 }
 
 // Receive processes decoded segments at time now, then releases every
 // in-order complete SDU.
 func (rx *RxEntity) Receive(segs []Segment, now sim.Time) {
-	for _, s := range segs {
+	for i := range segs {
+		s := &segs[i]
 		if s.SDU.SN < rx.nextSN {
 			continue // duplicate of an already-delivered SDU
 		}
-		st, ok := rx.pending[s.SDU.SN]
-		if !ok {
-			st = &rxSDU{sdu: s.SDU, total: s.SDU.Packet.Size}
-			rx.pending[s.SDU.SN] = st
+		st := rx.slot(s.SDU.SN - rx.nextSN)
+		if !st.active {
+			*st = rxSDU{sdu: s.SDU, total: s.SDU.Packet.Size, active: true}
+			rx.pendingCount++
 		}
 		if st.complete {
 			continue
@@ -232,17 +267,20 @@ func (rx *RxEntity) Receive(segs []Segment, now sim.Time) {
 // release delivers consecutive complete SDUs starting at nextSN.
 func (rx *RxEntity) release(now sim.Time) {
 	burst := 0
-	for {
-		st, ok := rx.pending[rx.nextSN]
-		if !ok || !st.complete {
+	for len(rx.win) > 0 {
+		st := &rx.win[rx.head]
+		if !st.active || !st.complete {
 			break
 		}
-		delete(rx.pending, rx.nextSN)
+		pkt, holdBack := st.sdu.Packet, st.completeAt < now
+		*st = rxSDU{}
+		rx.head = (rx.head + 1) & (len(rx.win) - 1)
 		rx.nextSN++
+		rx.pendingCount--
 		rx.deliver(DeliveredPacket{
-			Packet:      st.sdu.Packet,
+			Packet:      pkt,
 			At:          now,
-			HoLReleased: st.completeAt < now,
+			HoLReleased: holdBack,
 		})
 		burst++
 	}
@@ -253,4 +291,4 @@ func (rx *RxEntity) release(now sim.Time) {
 
 // PendingSDUs returns the number of SDUs buffered waiting for in-order
 // delivery (complete or partial).
-func (rx *RxEntity) PendingSDUs() int { return len(rx.pending) }
+func (rx *RxEntity) PendingSDUs() int { return rx.pendingCount }

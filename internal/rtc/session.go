@@ -112,6 +112,14 @@ func (s *Session) DLWired() *netem.Path { return s.dlWired }
 // Run executes the call for the given duration and returns the merged
 // cross-layer trace.
 func (s *Session) Run(duration sim.Time) *trace.Set {
+	// Pre-size the trace series from the cell geometry so collection
+	// does not pay repeated slice grow-and-copy cycles: up to one DCI
+	// record per direction per slot, a gNB buffer-log pair (UL+DL)
+	// every 16 slots — i.e. slots/8 records — plus retx log lines,
+	// 50 ms stats per client, and a conservative packet-rate guess.
+	slots := int(duration / s.Cell.Config().Numerology.SlotDuration())
+	secs := int(duration / sim.Second)
+	s.Collector.Reserve(2*slots, slots/8, 1000*secs, 2*secs*20, 4*secs)
 	s.Local.Start()
 	s.Remote.Start()
 	s.Engine.RunUntil(duration)

@@ -162,6 +162,132 @@ func TestTimeConversions(t *testing.T) {
 	}
 }
 
+// TestEngineCancelEager pins the new Cancel contract: canceled events
+// leave the queue immediately, so Pending never counts dead entries
+// (the old lazy-deletion queue over-reported until the entry was
+// popped).
+func TestEngineCancelEager(t *testing.T) {
+	e := NewEngine()
+	ids := make([]EventID, 10)
+	for i := range ids {
+		ids[i] = e.Schedule(Time(i+1)*Millisecond, func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	// Cancel from the middle and both ends.
+	for _, i := range []int{4, 0, 9} {
+		e.Cancel(ids[i])
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending after 3 cancels = %d, want 7", e.Pending())
+	}
+	// Double-cancel stays a no-op.
+	e.Cancel(ids[4])
+	if e.Pending() != 7 {
+		t.Fatalf("Pending after double cancel = %d, want 7", e.Pending())
+	}
+	e.Run()
+	if got := int(e.Executed()); got != 7 {
+		t.Fatalf("executed %d events, want 7", got)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", e.Pending())
+	}
+}
+
+// TestEngineStaleEventID pins that an EventID from an executed event
+// can never cancel the event that recycled its slot.
+func TestEngineStaleEventID(t *testing.T) {
+	e := NewEngine()
+	stale := e.Schedule(Millisecond, func() {})
+	e.Run() // executes and frees the slot
+	ran := false
+	e.Schedule(2*Millisecond, func() { ran = true }) // reuses the slot
+	e.Cancel(stale)                                  // must not touch the new event
+	e.Run()
+	if !ran {
+		t.Fatal("stale EventID canceled a recycled slot's event")
+	}
+}
+
+// TestEngineCancelHeavyProperty schedules and cancels pseudo-randomly
+// and checks that exactly the surviving events run, in order.
+func TestEngineCancelHeavyProperty(t *testing.T) {
+	f := func(delays []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		type ev struct {
+			id EventID
+			at Time
+		}
+		var scheduled []ev
+		ran := 0
+		for _, d := range delays {
+			at := Time(d) * Microsecond
+			scheduled = append(scheduled, ev{e.Schedule(at, func() { ran++ }), at})
+		}
+		want := len(scheduled)
+		for i, s := range scheduled {
+			if i < len(cancelMask) && cancelMask[i] {
+				e.Cancel(s.id)
+				want--
+			}
+		}
+		if e.Pending() != want {
+			return false
+		}
+		e.Run()
+		return ran == want && e.Pending() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sinkFn is a pre-built no-op callback so alloc guards don't measure
+// the cost of constructing the closure under test.
+var sinkFn = func() {}
+
+// TestScheduleZeroAllocSteadyState guards the free-list design: once
+// the heap and slot arrays have grown, Schedule+Cancel and
+// Schedule+dispatch allocate nothing.
+func TestScheduleZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 64; i++ { // grow heap and slots past test peak
+		e.Schedule(Millisecond, sinkFn)
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(200, func() {
+		id := e.Schedule(e.Now()+Millisecond, sinkFn)
+		e.Cancel(id)
+	}); avg != 0 {
+		t.Fatalf("Schedule+Cancel allocates %v/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		e.Schedule(e.Now()+Millisecond, sinkFn)
+		e.RunUntil(e.Now() + Millisecond)
+	}); avg != 0 {
+		t.Fatalf("Schedule+dispatch allocates %v/op, want 0", avg)
+	}
+}
+
+// TestTickerZeroAllocSteadyState guards the cached tick closure + slot
+// reuse: a running ticker allocates nothing per tick.
+func TestTickerZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	e.NewTicker(0, Millisecond, func(Time) { ticks++ })
+	e.RunUntil(10 * Millisecond) // warm up
+	if avg := testing.AllocsPerRun(200, func() {
+		e.RunUntil(e.Now() + Millisecond)
+	}); avg != 0 {
+		t.Fatalf("ticker tick allocates %v/op, want 0", avg)
+	}
+	if ticks == 0 {
+		t.Fatal("ticker never fired")
+	}
+}
+
 // Property: for any set of event delays, the engine dispatches them in
 // nondecreasing time order.
 func TestEngineOrderProperty(t *testing.T) {

@@ -87,6 +87,12 @@ type Analyzer struct {
 	core *core.Analyzer
 	cfg  Config
 
+	// window/step cache the (immutable) detector geometry: Push is the
+	// per-record hot path and must not copy the full DetectorConfig
+	// out of the core analyzer on every record.
+	window sim.Time
+	step   sim.Time
+
 	hdr       *trace.Header
 	eval      *core.WindowEvaluator
 	inc       *core.Incremental
@@ -99,7 +105,8 @@ type Analyzer struct {
 // shareable) core analyzer. The stream must deliver a header record
 // before any data record.
 func New(a *core.Analyzer, cfg Config) *Analyzer {
-	return &Analyzer{core: a, cfg: cfg}
+	dc := a.Config()
+	return &Analyzer{core: a, cfg: cfg, window: dc.Window, step: dc.Step}
 }
 
 // Header returns the stream's header once it has been pushed.
@@ -122,8 +129,7 @@ func (s *Analyzer) emittedEnd() sim.Time {
 	if s.stats.Windows == 0 {
 		return 0
 	}
-	cfg := s.core.Config()
-	return s.nextStart - cfg.Step + cfg.Window
+	return s.nextStart - s.step + s.window
 }
 
 // Push feeds one record into the stream, evaluating every window the
@@ -193,22 +199,21 @@ func (s *Analyzer) PushBatch(recs []trace.Record) error {
 // flush set (Close), remaining windows are evaluated regardless of the
 // watermark — no further records can arrive.
 func (s *Analyzer) advance(flush bool) {
-	cfg := s.core.Config()
-	lastStart := sim.MaxTime - cfg.Window
+	lastStart := sim.MaxTime - s.window
 	if s.hdr.Duration > 0 {
-		lastStart = s.hdr.Duration - cfg.Window
+		lastStart = s.hdr.Duration - s.window
 	} else if flush {
-		lastStart = s.stats.Watermark - cfg.Window
+		lastStart = s.stats.Watermark - s.window
 	}
 	for s.nextStart <= lastStart {
-		if !flush && s.stats.Watermark < s.nextStart+cfg.Window+s.cfg.Lateness {
+		if !flush && s.stats.Watermark < s.nextStart+s.window+s.cfg.Lateness {
 			return
 		}
 		s.eval.EvictBefore(s.nextStart)
 		v := s.eval.Eval(s.nextStart)
 		wr, closedNodes, closedChains := s.inc.Step(v)
 		s.stats.Windows++
-		s.nextStart += cfg.Step
+		s.nextStart += s.step
 		s.emit(wr, closedNodes, closedChains)
 	}
 }

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"github.com/domino5g/domino/internal/netem"
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// benchCorpus builds a synthetic record mix shaped like a real session
+// trace (mostly DCI, then packets, stats, gNB logs, RRC) for codec
+// benchmarks. The fast/stdjson sub-benchmark pairs keep the before and
+// after of the hand-rolled codec side by side in BENCH_scenarios.json.
+func benchCorpus() []Record {
+	const groups = 500
+	recs := make([]Record, 0, groups*9)
+	for i := 0; i < groups; i++ {
+		at := sim.Time(i) * sim.Millisecond
+		for j := 0; j < 4; j++ {
+			recs = append(recs, Record{DCI: &DCIRecord{
+				At: at + sim.Time(j), Dir: netem.Direction(j % 2), RNTI: 70 + uint32(i%3),
+				OwnPRB: 10 + j, OtherPRB: i % 50, MCS: 5 + i%20, TBSBits: 8000 + 13*i,
+				UsedBits: 7000 + 11*i, HARQRetx: i%7 == 0, Unused: i%5 == 0,
+			}})
+		}
+		for j := 0; j < 2; j++ {
+			recs = append(recs, Record{Packet: &PacketRecord{
+				Seq: uint64(i*2 + j), Kind: netem.MediaKind(j), Dir: netem.Direction(j),
+				Size: 1200 - j*300, SentAt: at, Arrived: at + 9*sim.Millisecond + sim.Time(i%400),
+			}})
+		}
+		recs = append(recs, Record{Stats: &WebRTCStatsRecord{
+			At: at, Local: i%2 == 0, InboundFPS: 29.97, OutboundFPS: 30,
+			OutboundHeight: 720, VideoJBDelayMs: 42.5 + float64(i%10),
+			TargetBitrateBps: 2.5e6, TrendlineSlope: -1.25e-3, AckedBitrateBps: 2.1e6,
+		}})
+		recs = append(recs, Record{GNB: &GNBLogRecord{
+			At: at, Kind: GNBLogRLCBuffer, Dir: netem.Uplink, BufferBytes: 1000 * (i % 40),
+		}})
+		if i%100 == 0 {
+			recs = append(recs, Record{RRC: &RRCRecord{At: at, Connected: i%200 == 0, RNTI: 70, Cause: "inactivity"}})
+		}
+	}
+	return recs
+}
+
+// mallocsDelta runs fn and returns the exact heap-allocation count it
+// performed (single-threaded benchmarks only).
+func mallocsDelta(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// BenchmarkCodecEncode compares the hand-rolled append encoder against
+// the encoding/json path it replaced (rec/s and allocs/rec are the
+// gated metrics).
+func BenchmarkCodecEncode(b *testing.B) {
+	recs := benchCorpus()
+	b.Run("fast", func(b *testing.B) {
+		buf := make([]byte, 0, 1024)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var allocs uint64
+		for i := 0; i < b.N; i++ {
+			allocs += mallocsDelta(func() {
+				for k := range recs {
+					var err error
+					buf, err = fastEncodeRecord(buf[:0], recs[k])
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+		b.ReportMetric(float64(allocs)/float64(len(recs)*b.N), "allocs/rec")
+	})
+	b.Run("stdjson", func(b *testing.B) {
+		var out bytes.Buffer
+		enc := json.NewEncoder(&out)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var allocs uint64
+		for i := 0; i < b.N; i++ {
+			allocs += mallocsDelta(func() {
+				out.Reset()
+				for k := range recs {
+					data, err := json.Marshal(recordPayload(recs[k]))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := enc.Encode(jsonLine{Type: recordTypeName(recs[k]), Data: data}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+		b.ReportMetric(float64(allocs)/float64(len(recs)*b.N), "allocs/rec")
+	})
+}
+
+// BenchmarkCodecDecode compares the field-scanning decoder against the
+// stdlib double-unmarshal on the same encoded lines.
+func BenchmarkCodecDecode(b *testing.B) {
+	recs := benchCorpus()
+	lines := make([][]byte, len(recs))
+	for i := range recs {
+		line, err := fastEncodeRecord(nil, recs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		lines[i] = line
+	}
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var allocs uint64
+		for i := 0; i < b.N; i++ {
+			allocs += mallocsDelta(func() {
+				for _, line := range lines {
+					if _, ok := fastDecodeLine(line); !ok {
+						b.Fatal("fast path rejected canonical line")
+					}
+				}
+			})
+		}
+		b.ReportMetric(float64(len(lines))*float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+		b.ReportMetric(float64(allocs)/float64(len(lines)*b.N), "allocs/rec")
+	})
+	b.Run("stdjson", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var allocs uint64
+		for i := 0; i < b.N; i++ {
+			allocs += mallocsDelta(func() {
+				for _, line := range lines {
+					if _, err := oracleDecodeLine(line); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.ReportMetric(float64(len(lines))*float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+		b.ReportMetric(float64(allocs)/float64(len(lines)*b.N), "allocs/rec")
+	})
+}

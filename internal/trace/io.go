@@ -37,18 +37,24 @@ type jsonHeader struct {
 }
 
 // WriteJSONL serializes the set: a header line, then every record in
-// timestamp order. The caller's set is not mutated.
+// timestamp order. The caller's set is not mutated. Lines are built by
+// the hand-rolled append encoder in codec.go — byte-identical to the
+// reflection-based encoding this replaced (codec_test.go pins that
+// against the encoding/json oracle) with zero allocations per record.
 func WriteJSONL(w io.Writer, set *Set) error {
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	write := func(typ string, v any) error {
-		data, err := json.Marshal(v)
+	buf := make([]byte, 0, 1024)
+	flushLine := func(err error) error {
 		if err != nil {
 			return err
 		}
-		return enc.Encode(jsonLine{Type: typ, Data: data})
+		buf = append(buf, '\n')
+		_, werr := bw.Write(buf)
+		return werr
 	}
-	if err := write("header", jsonHeader{CellName: set.CellName, Scenario: set.Scenario, Duration: int64(set.Duration), HasGNBLog: set.HasGNBLog}); err != nil {
+	hdr := Header{CellName: set.CellName, Scenario: set.Scenario, Duration: set.Duration, HasGNBLog: set.HasGNBLog}
+	buf = appendHeaderLine(buf[:0], &hdr)
+	if err := flushLine(nil); err != nil {
 		return err
 	}
 
@@ -70,19 +76,23 @@ func WriteJSONL(w io.Writer, set *Set) error {
 	}{
 		{"dci", order(len(set.DCI), func(i int) sim.Time { return set.DCI[i].At }),
 			func(i int) sim.Time { return set.DCI[i].At },
-			func(i int) error { return write("dci", set.DCI[i]) }},
+			func(i int) error { buf = appendDCILine(buf[:0], &set.DCI[i]); return flushLine(nil) }},
 		{"gnb", order(len(set.GNBLogs), func(i int) sim.Time { return set.GNBLogs[i].At }),
 			func(i int) sim.Time { return set.GNBLogs[i].At },
-			func(i int) error { return write("gnb", set.GNBLogs[i]) }},
+			func(i int) error { buf = appendGNBLine(buf[:0], &set.GNBLogs[i]); return flushLine(nil) }},
 		{"pkt", order(len(set.Packets), func(i int) sim.Time { return set.Packets[i].SentAt }),
 			func(i int) sim.Time { return set.Packets[i].SentAt },
-			func(i int) error { return write("pkt", set.Packets[i]) }},
+			func(i int) error { buf = appendPacketLine(buf[:0], &set.Packets[i]); return flushLine(nil) }},
 		{"stats", order(len(set.Stats), func(i int) sim.Time { return set.Stats[i].At }),
 			func(i int) sim.Time { return set.Stats[i].At },
-			func(i int) error { return write("stats", set.Stats[i]) }},
+			func(i int) error {
+				var err error
+				buf, err = appendStatsLine(buf[:0], &set.Stats[i])
+				return flushLine(err)
+			}},
 		{"rrc", order(len(set.RRC), func(i int) sim.Time { return set.RRC[i].At }),
 			func(i int) sim.Time { return set.RRC[i].At },
-			func(i int) error { return write("rrc", set.RRC[i]) }},
+			func(i int) error { buf = appendRRCLine(buf[:0], &set.RRC[i]); return flushLine(nil) }},
 	}
 	pos := make([]int, len(sources))
 	for {
@@ -109,10 +119,13 @@ func WriteJSONL(w io.Writer, set *Set) error {
 
 // ReadJSONL deserializes a set written by WriteJSONL. It is the batch
 // counterpart of NewStreamReader: the whole stream is drained into a
-// sorted Set.
+// sorted Set. A stream whose first line is not a header fails
+// immediately — a missing header means the input is not a trace, and
+// draining gigabytes before saying so helps nobody.
 func ReadJSONL(r io.Reader) (*Set, error) {
 	set := &Set{}
 	sr := NewStreamReader(r)
+	first := true
 	for {
 		rec, err := sr.Next()
 		if err == io.EOF {
@@ -120,6 +133,12 @@ func ReadJSONL(r io.Reader) (*Set, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if first {
+			first = false
+			if rec.Header == nil {
+				return nil, fmt.Errorf("trace: missing header line")
+			}
 		}
 		switch {
 		case rec.Header != nil:

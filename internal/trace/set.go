@@ -34,12 +34,36 @@ type Set struct {
 }
 
 // Sort orders every series by timestamp. Analysis assumes sorted input.
+// Collectors append in simulation-time order, so each series is checked
+// with one linear scan first and the O(n log n) stable sort only runs
+// on series that actually need it (imported external telemetry).
 func (s *Set) Sort() {
-	sort.SliceStable(s.DCI, func(i, j int) bool { return s.DCI[i].At < s.DCI[j].At })
-	sort.SliceStable(s.GNBLogs, func(i, j int) bool { return s.GNBLogs[i].At < s.GNBLogs[j].At })
-	sort.SliceStable(s.Packets, func(i, j int) bool { return s.Packets[i].SentAt < s.Packets[j].SentAt })
-	sort.SliceStable(s.Stats, func(i, j int) bool { return s.Stats[i].At < s.Stats[j].At })
-	sort.SliceStable(s.RRC, func(i, j int) bool { return s.RRC[i].At < s.RRC[j].At })
+	if !sortedBy(len(s.DCI), func(i int) sim.Time { return s.DCI[i].At }) {
+		sort.SliceStable(s.DCI, func(i, j int) bool { return s.DCI[i].At < s.DCI[j].At })
+	}
+	if !sortedBy(len(s.GNBLogs), func(i int) sim.Time { return s.GNBLogs[i].At }) {
+		sort.SliceStable(s.GNBLogs, func(i, j int) bool { return s.GNBLogs[i].At < s.GNBLogs[j].At })
+	}
+	if !sortedBy(len(s.Packets), func(i int) sim.Time { return s.Packets[i].SentAt }) {
+		sort.SliceStable(s.Packets, func(i, j int) bool { return s.Packets[i].SentAt < s.Packets[j].SentAt })
+	}
+	if !sortedBy(len(s.Stats), func(i int) sim.Time { return s.Stats[i].At }) {
+		sort.SliceStable(s.Stats, func(i, j int) bool { return s.Stats[i].At < s.Stats[j].At })
+	}
+	if !sortedBy(len(s.RRC), func(i int) sim.Time { return s.RRC[i].At }) {
+		sort.SliceStable(s.RRC, func(i, j int) bool { return s.RRC[i].At < s.RRC[j].At })
+	}
+}
+
+// sortedBy reports whether the series is already in nondecreasing
+// timestamp order.
+func sortedBy(n int, at func(int) sim.Time) bool {
+	for i := 1; i < n; i++ {
+		if at(i) < at(i-1) {
+			return false
+		}
+	}
+	return true
 }
 
 // EventCounts summarizes record volumes (the Table 1 "event rate"
@@ -132,6 +156,29 @@ type Collector struct {
 // NewCollector returns a collector for the named cell.
 func NewCollector(cellName string, hasGNBLog bool) *Collector {
 	return &Collector{Set: Set{CellName: cellName, HasGNBLog: hasGNBLog}}
+}
+
+// Reserve pre-sizes the record slices for an expected record volume, so
+// a session of known duration does not pay repeated grow-and-copy cycles
+// while collecting millions of records. Estimates may be rough: a low
+// estimate just falls back to normal slice growth, a zero is ignored.
+func (c *Collector) Reserve(dci, gnb, pkts, stats, rrc int) {
+	s := &c.Set
+	if dci > cap(s.DCI) {
+		s.DCI = append(make([]DCIRecord, 0, dci), s.DCI...)
+	}
+	if gnb > cap(s.GNBLogs) && s.HasGNBLog {
+		s.GNBLogs = append(make([]GNBLogRecord, 0, gnb), s.GNBLogs...)
+	}
+	if pkts > cap(s.Packets) {
+		s.Packets = append(make([]PacketRecord, 0, pkts), s.Packets...)
+	}
+	if stats > cap(s.Stats) {
+		s.Stats = append(make([]WebRTCStatsRecord, 0, stats), s.Stats...)
+	}
+	if rrc > cap(s.RRC) {
+		s.RRC = append(make([]RRCRecord, 0, rrc), s.RRC...)
+	}
 }
 
 // OnDCI records a scheduling event.

@@ -103,6 +103,16 @@ func (sr *StreamReader) Next() (Record, error) {
 		return Record{}, sr.err
 	}
 	sr.lineNo++
+	// Fast path: field-scanning decoder for canonically encoded lines
+	// (the overwhelming case — WriteJSONL output and dominod ingest).
+	// Anything it does not recognize falls through to the reflection
+	// path below, which doubles as the differential-test oracle.
+	if rec, ok := fastDecodeLine(sr.sc.Bytes()); ok {
+		if rec.Header != nil {
+			sr.hdr = rec.Header
+		}
+		return rec, nil
+	}
 	fail := func(err error) (Record, error) {
 		sr.err = fmt.Errorf("trace: line %d: %w", sr.lineNo, err)
 		return Record{}, sr.err

@@ -86,6 +86,7 @@ func TestMalformedJSONL(t *testing.T) {
 	}{
 		{"empty file", "", false},
 		{"missing header", `{"type":"dci","data":{"At":1}}` + "\n", false},
+		{"late header", `{"type":"dci","data":{"At":1}}` + "\n" + header + "\n", false},
 		{"header only", header + "\n", true},
 		{"truncated line", header + "\n" + `{"type":"dci","da`, false},
 		{"truncated data object", header + "\n" + `{"type":"dci","data":{"At":` + "\n", false},
@@ -100,20 +101,16 @@ func TestMalformedJSONL(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			_, batchErr := ReadJSONL(strings.NewReader(tc.input))
 			recs, streamErr := drainStream(t, tc.input)
-			_, sawHeader := func() (Record, bool) {
-				for _, r := range recs {
-					if r.Header != nil {
-						return r, true
-					}
-				}
-				return Record{}, false
-			}()
-			streamOK := streamErr == nil && sawHeader
+			// ReadJSONL requires the header to come first (it fails
+			// fast otherwise), so the streaming-side acceptability
+			// check is header-first too.
+			headerFirst := len(recs) > 0 && recs[0].Header != nil
+			streamOK := streamErr == nil && headerFirst
 			if (batchErr == nil) != tc.ok {
 				t.Fatalf("batch: err=%v, want ok=%v", batchErr, tc.ok)
 			}
 			if streamOK != tc.ok {
-				t.Fatalf("stream: err=%v sawHeader=%v, want ok=%v", streamErr, sawHeader, tc.ok)
+				t.Fatalf("stream: err=%v headerFirst=%v, want ok=%v", streamErr, headerFirst, tc.ok)
 			}
 		})
 	}
@@ -149,6 +146,23 @@ func TestRecordTime(t *testing.T) {
 	}
 }
 
+// TestReadJSONLFailsFastOnMissingHeader pins the fail-fast contract: a
+// stream whose first line is not a header is rejected with the
+// missing-header error immediately, without draining (and potentially
+// choking on) the rest of the stream. The garbage second line proves
+// it: the old drain-everything behavior would have surfaced a line-2
+// parse error instead.
+func TestReadJSONLFailsFastOnMissingHeader(t *testing.T) {
+	input := `{"type":"dci","data":{"At":1}}` + "\nthis line is not json and must never be parsed\n"
+	_, err := ReadJSONL(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("headerless stream accepted")
+	}
+	if !strings.Contains(err.Error(), "missing header") {
+		t.Fatalf("err = %v, want missing-header failure (not a line-2 parse error)", err)
+	}
+}
+
 // FuzzReadJSONL feeds arbitrary bytes to both readers: neither may
 // panic, and they must agree on input acceptability (ReadJSONL is
 // built on StreamReader, so a divergence means the wrapper broke).
@@ -167,8 +181,10 @@ func FuzzReadJSONL(f *testing.F) {
 
 		sr := NewStreamReader(strings.NewReader(input))
 		var streamErr error
+		headerFirst := false
+		first := true
 		for {
-			_, err := sr.Next()
+			rec, err := sr.Next()
 			if err == io.EOF {
 				break
 			}
@@ -176,10 +192,19 @@ func FuzzReadJSONL(f *testing.F) {
 				streamErr = err
 				break
 			}
+			if first {
+				first = false
+				headerFirst = rec.Header != nil
+			}
+			if !headerFirst {
+				// ReadJSONL stops at the first non-header first line;
+				// stop mirroring it here so both readers consume the
+				// same prefix.
+				break
+			}
 		}
-		_, sawHeader := sr.Header()
-		if (batchErr == nil) != (streamErr == nil && sawHeader) {
-			t.Fatalf("readers disagree: batch=%v stream=%v header=%v", batchErr, streamErr, sawHeader)
+		if (batchErr == nil) != (streamErr == nil && headerFirst) {
+			t.Fatalf("readers disagree: batch=%v stream=%v headerFirst=%v", batchErr, streamErr, headerFirst)
 		}
 	})
 }
