@@ -4,15 +4,17 @@
 GO ?= go
 
 # Benchmarks covered by the machine-readable perf artifact and the CI
-# perf gate: stream-vs-batch analyzer throughput and per-scenario
+# perf gate: stream-vs-batch analyzer throughput, the rolling window
+# evaluator and compiled-DAG step microbenchmarks, and per-scenario
 # trace-generation throughput (root package), plus the event-scheduler
-# and JSONL-codec microbenchmarks (internal/sim, internal/trace). Every
-# benchmark processes a sizable batch per iteration, and the gate runs
-# -count=5 with benchjson keeping the best of the repeats — on shared
-# hardware interference only makes numbers worse, so best-of-5 is the
-# stable estimate to gate on.
-BENCH_GATE_PATTERN = BenchmarkStreamAnalyzer|BenchmarkScenarioTraceGen|BenchmarkEngine|BenchmarkCodec
-BENCH_GATE_PKGS = . ./internal/sim ./internal/trace
+# and JSONL-codec microbenchmarks (internal/sim, internal/trace) and
+# the fleet ingest benchmark (cmd/dominod). Every benchmark processes
+# a sizable batch per iteration, and the gate runs -count=5 with
+# benchjson keeping the best of the repeats — on shared hardware
+# interference only makes numbers worse, so best-of-5 is the stable
+# estimate to gate on.
+BENCH_GATE_PATTERN = BenchmarkStreamAnalyzer|BenchmarkScenarioTraceGen|BenchmarkEngine|BenchmarkCodec|BenchmarkWindowEval|BenchmarkIncrementalStep|BenchmarkDominodIngest
+BENCH_GATE_PKGS = . ./internal/sim ./internal/trace ./cmd/dominod
 
 .PHONY: build vet fmt fmt-check test bench bench-json bench-diff dominod-smoke ci
 

@@ -121,9 +121,12 @@ func BenchmarkStreamAnalyzer(b *testing.B) {
 
 	b.Run("stream", func(b *testing.B) {
 		b.ReportAllocs()
+		// One analyzer recycled across sessions via Reset — the pooled
+		// steady state a fleet ingest service (cmd/dominod) runs in.
+		sa := stream.New(analyzer, stream.Config{})
 		var peak int
 		for i := 0; i < b.N; i++ {
-			sa := stream.New(analyzer, stream.Config{})
+			sa.Reset()
 			for _, rec := range records {
 				if err := sa.Push(rec); err != nil {
 					b.Fatal(err)
@@ -147,6 +150,97 @@ func BenchmarkStreamAnalyzer(b *testing.B) {
 		b.ReportMetric(totalSamples*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 		b.ReportMetric(totalSamples, "max-buffered-samples")
 	})
+}
+
+// BenchmarkWindowEval measures the rolling window evaluator alone: one
+// 10 s session's records observed and every window position evaluated
+// with eviction, exactly as the streaming analyzer drives it. The
+// evaluator is recycled via Reset, so the number reflects the pooled
+// steady state (windows/s and the zero-alloc eval contract).
+func BenchmarkWindowEval(b *testing.B) {
+	sess, err := rtc.NewSession(rtc.DefaultSessionConfig(ran.Amarisoft(), 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := sess.Run(10 * sim.Second)
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, set); err != nil {
+		b.Fatal(err)
+	}
+	sr := trace.NewStreamReader(bytes.NewReader(buf.Bytes()))
+	var records []trace.Record
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Header == nil {
+			records = append(records, rec)
+		}
+	}
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := analyzer.Config()
+	eval := analyzer.NewWindowEvaluator(set.HasGNBLog)
+	end := set.Duration - cfg.Window
+	windows := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Reset(set.HasGNBLog)
+		for _, rec := range records {
+			eval.Observe(rec)
+		}
+		windows = 0
+		for start := sim.Time(0); start <= end; start += cfg.Step {
+			eval.EvictBefore(start)
+			eval.Eval(start)
+			windows++
+		}
+	}
+	b.ReportMetric(float64(windows*b.N)/b.Elapsed().Seconds(), "windows/s")
+	b.ReportMetric(float64(len(records))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkIncrementalStep measures the compiled-DAG state machine
+// alone: feeding one session's precomputed feature vectors through
+// Incremental.Step (backward trace, run collapsing), with the
+// Incremental recycled via Reset.
+func BenchmarkIncrementalStep(b *testing.B) {
+	sess, err := rtc.NewSession(rtc.DefaultSessionConfig(ran.Amarisoft(), 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := sess.Run(10 * sim.Second)
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := analyzer.Analyze(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vectors := make([]core.FeatureVector, len(rep.Windows))
+	for i, w := range rep.Windows {
+		vectors[i] = w.Vector
+	}
+	inc := analyzer.NewIncremental(set.CellName)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc.Reset(set.CellName)
+		inc.SetKeepWindows(false)
+		for _, v := range vectors {
+			inc.Step(v)
+		}
+		inc.Finish(set.Duration)
+	}
+	b.ReportMetric(float64(len(vectors)*b.N)/b.Elapsed().Seconds(), "steps/s")
 }
 
 func BenchmarkTable1DatasetRates(b *testing.B)    { benchExperiment(b, "table1") }

@@ -155,7 +155,7 @@ func diff(baseline, current map[string]benchResult, maxRegress float64) (string,
 
 	var sb strings.Builder
 	var regressions, vanished []string
-	improvements := 0
+	improvements, compared, newBenches := 0, 0, 0
 	fmt.Fprintf(&sb, "benchdiff: gate at %.0f%% regression\n\n", maxRegress*100)
 	for _, name := range names {
 		base := baseline[name]
@@ -180,6 +180,7 @@ func diff(baseline, current map[string]benchResult, maxRegress float64) (string,
 				vanished = append(vanished, name+" ["+unit+"]")
 				continue
 			}
+			compared++
 			d := compare(bv, cv, unit, dir, maxRegress)
 			d.bench, d.unit = name, unit
 			status := "ok"
@@ -195,6 +196,7 @@ func diff(baseline, current map[string]benchResult, maxRegress float64) (string,
 	}
 	for name := range current {
 		if _, ok := baseline[name]; !ok {
+			newBenches++
 			fmt.Fprintf(&sb, "%-60s (new, unbaselined — run `make bench-json` to add it)\n", name)
 		}
 	}
@@ -217,6 +219,12 @@ func diff(baseline, current map[string]benchResult, maxRegress float64) (string,
 	if !failed {
 		fmt.Fprintf(&sb, "PASS: no metric regressed beyond %.0f%% (%d improvement(s) beyond threshold)\n", maxRegress*100, improvements)
 	}
+	verdict := "PASS"
+	if failed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&sb, "gate summary: %s — %d gated metric(s) compared, %d ok, %d regressed, %d improved, %d missing, %d unbaselined\n",
+		verdict, compared, compared-len(regressions)-improvements, len(regressions), improvements, len(vanished), newBenches)
 	return sb.String(), failed
 }
 

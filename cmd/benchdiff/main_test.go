@@ -152,6 +152,34 @@ func TestBenchdiffImprovementHint(t *testing.T) {
 	}
 }
 
+func TestBenchdiffGateSummaryLine(t *testing.T) {
+	// The report always ends with the one-line gate summary.
+	code, out := runDiff(t, baselineDoc, baselineDoc)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "gate summary: PASS") || !strings.Contains(last, "6 gated metric(s) compared, 6 ok, 0 regressed") {
+		t.Fatalf("summary line wrong: %q", last)
+	}
+
+	// Regressions and vanished benchmarks flip the verdict and counts.
+	current := `{"benchmarks":[
+		{"name":"BenchmarkScenarioTraceGen/amarisoft","iterations":1,"metrics":{"ns/op":1e7,"records/s":1000000,"sim-s/s":600}},
+		{"name":"BenchmarkCodecEncode/fast","iterations":1,"metrics":{"rec/s":5000000,"allocs/rec":0}}
+	]}`
+	code, out = runDiff(t, baselineDoc, current)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	lines = strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last = lines[len(lines)-1]
+	if !strings.HasPrefix(last, "gate summary: FAIL") || !strings.Contains(last, "1 regressed") || !strings.Contains(last, "1 missing") {
+		t.Fatalf("summary line wrong: %q", last)
+	}
+}
+
 func TestBenchdiffThreshold(t *testing.T) {
 	// 25% drop passes at the default 30% gate, fails at 20%.
 	current := strings.ReplaceAll(baselineDoc, `"sim-s/s":1000`, `"sim-s/s":750`)

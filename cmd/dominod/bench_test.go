@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// BenchmarkDominodIngest measures fleet-shaped ingest: many concurrent
+// session uploads through the full HTTP path (sharded registry, pooled
+// per-session analyzers, chunked pooled record buffers). Each
+// iteration POSTs `sessions` concurrent streams of one pre-generated
+// 10 s trace; records/s counts every data record analyzed across the
+// fleet per wall-clock second.
+func BenchmarkDominodIngest(b *testing.B) {
+	analyzer := testAnalyzer(b)
+	set, body := sessionTrace(b, ran.Amarisoft(), 21, 10*sim.Second)
+	c := set.Counts()
+	recordsPerSession := c.DCI + c.GNBLog + c.Packets + c.WebRTC
+
+	const sessions = 16
+	srv := newServer(analyzer, serverOptions{MaxStreams: sessions, MaxSessions: 64})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+	client := ts.Client()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, sessions)
+		for j := 0; j < sessions; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				id := fmt.Sprintf("bench-%d-%d", i, j)
+				resp, err := client.Post(ts.URL+"/ingest?session="+id, "application/jsonl", bytes.NewReader(body))
+				if err != nil {
+					errs[j] = err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					msg, _ := io.ReadAll(resp.Body)
+					errs[j] = fmt.Errorf("ingest %s: status %d: %s", id, resp.StatusCode, msg)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+			}(j)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(recordsPerSession*sessions*b.N)/b.Elapsed().Seconds(), "records/s")
+	b.ReportMetric(float64(sessions*b.N)/b.Elapsed().Seconds(), "sessions/s")
+}

@@ -135,7 +135,11 @@ type serverOptions struct {
 }
 
 // server multiplexes concurrent session streams over one shared
-// analyzer and keeps aggregate counters across them.
+// analyzer and keeps aggregate counters across them. The session
+// registry is sharded by session-ID hash so fleet-scale concurrent
+// ingest never serializes on one registry lock, and per-session
+// analyzer state (window evaluator series, incremental scratch) is
+// recycled through a sync.Pool once a session finishes.
 type server struct {
 	analyzer *core.Analyzer
 	limiter  *parallel.Limiter
@@ -144,10 +148,12 @@ type server struct {
 
 	causeClass, consequenceClass map[string]bool
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	order    []string
-	nextID   int
+	shards  [registryShards]regShard
+	count   atomic.Int64 // live sessions across all shards
+	nextID  atomic.Int64 // anonymous-session ID allocator
+	nextSeq atomic.Int64 // global registration order
+	saPool  sync.Pool    // recycled *stream.Analyzer
+	recPool sync.Pool    // recycled *[]trace.Record ingest chunks
 
 	// Aggregate counters (/metrics).
 	recordsTotal, windowsTotal, lateDroppedTotal atomic.Int64
@@ -157,14 +163,40 @@ type server struct {
 	nodeEventsTotal                              map[string]int64
 }
 
+// registryShards is the session-registry fan-out; a power of two so
+// the hash mixes cheaply.
+const registryShards = 16
+
+// ingestChunk is how many decoded records are pushed per session-lock
+// acquisition (and the capacity of pooled record buffers).
+const ingestChunk = 256
+
+type regShard struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
 type session struct {
-	id string
+	id  string
+	seq int64 // global registration order
+
+	// finished mirrors state != "active" for lock-free reads: the
+	// eviction scan checks it without taking sess.mu, so registration
+	// at the retention cap never contends with a session mid-chunk.
+	finished atomic.Bool
 
 	mu    sync.Mutex
-	sa    *stream.Analyzer
-	state string // "active", "done", "failed"
+	sa    *stream.Analyzer // non-nil while ingesting; recycled after
+	state string           // "active", "done", "failed"
 	err   string
 	final *core.Report
+
+	// Captured when the analyzer is detached at completion, so
+	// /sessions and /report keep serving finished sessions without
+	// pinning the (pooled) analyzer state.
+	stats  stream.Stats
+	hdr    trace.Header
+	hasHdr bool
 }
 
 func newServer(analyzer *core.Analyzer, opts serverOptions) *server {
@@ -178,8 +210,15 @@ func newServer(analyzer *core.Analyzer, opts serverOptions) *server {
 		log:              opts.Log,
 		causeClass:       map[string]bool{},
 		consequenceClass: map[string]bool{},
-		sessions:         map[string]*session{},
 		nodeEventsTotal:  map[string]int64{},
+	}
+	for i := range s.shards {
+		s.shards[i].sessions = map[string]*session{}
+	}
+	s.saPool.New = func() any { return s.newStream() }
+	s.recPool.New = func() any {
+		buf := make([]trace.Record, 0, ingestChunk)
+		return &buf
 	}
 	for _, c := range domino.CauseClasses() {
 		s.causeClass[c] = true
@@ -188,6 +227,16 @@ func newServer(analyzer *core.Analyzer, opts serverOptions) *server {
 		s.consequenceClass[c] = true
 	}
 	return s
+}
+
+func (s *server) shard(id string) *regShard {
+	// FNV-1a over the session ID.
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &s.shards[h&(registryShards-1)]
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -224,13 +273,12 @@ func (s *server) newStream() *stream.Analyzer {
 }
 
 func (s *server) register(id string) (*session, string, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if id == "" {
-		s.nextID++
-		id = fmt.Sprintf("s%04d", s.nextID)
+		id = fmt.Sprintf("s%04d", s.nextID.Add(1))
 	}
-	if old, exists := s.sessions[id]; exists {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	if old, exists := sh.sessions[id]; exists {
 		// A failed ingest must not squat on its ID: collectors retry
 		// the same call ID, and only an active or completed session is
 		// worth protecting from replacement.
@@ -238,61 +286,61 @@ func (s *server) register(id string) (*session, string, bool) {
 		failed := old.state == "failed"
 		old.mu.Unlock()
 		if !failed {
+			sh.mu.Unlock()
 			return nil, id, false
 		}
-		s.dropLocked(id)
+		delete(sh.sessions, id)
+		s.count.Add(-1)
 	}
-	s.evictLocked()
-	sess := &session{id: id, state: "active", sa: s.newStream()}
-	s.sessions[id] = sess
-	s.order = append(s.order, id)
+	sess := &session{id: id, seq: s.nextSeq.Add(1), state: "active", sa: s.saPool.Get().(*stream.Analyzer)}
+	sh.sessions[id] = sess
+	sh.mu.Unlock()
+	s.count.Add(1)
+	s.evict()
 	s.sessionsTotal.Add(1)
 	return sess, id, true
 }
 
-// dropLocked removes one session; s.mu must be held.
-func (s *server) dropLocked(id string) {
-	delete(s.sessions, id)
-	for i, v := range s.order {
-		if v == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
-}
-
-// evictLocked bounds retention: once MaxSessions is reached, the
+// evict bounds retention: once MaxSessions is reached, the globally
 // oldest finished (done or failed) sessions are dropped. Active
 // sessions are never evicted; their count is already bounded by the
-// admission limiter plus waiting uploads. s.mu must be held.
-func (s *server) evictLocked() {
+// admission limiter plus waiting uploads. Shards are scanned without
+// any global lock — the bound is enforced within one session of exact.
+func (s *server) evict() {
 	max := s.opts.MaxSessions
 	if max <= 0 {
 		return
 	}
-	for len(s.sessions) >= max {
-		evicted := false
-		for _, id := range s.order {
-			sess := s.sessions[id]
-			sess.mu.Lock()
-			finished := sess.state != "active"
-			sess.mu.Unlock()
-			if finished {
-				s.dropLocked(id)
-				evicted = true
-				break
+	for s.count.Load() > int64(max) {
+		var oldest *session
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			for _, sess := range sh.sessions {
+				if sess.finished.Load() && (oldest == nil || sess.seq < oldest.seq) {
+					oldest = sess
+				}
 			}
+			sh.mu.Unlock()
 		}
-		if !evicted {
+		if oldest == nil {
 			return
 		}
+		sh := s.shard(oldest.id)
+		sh.mu.Lock()
+		if sh.sessions[oldest.id] == oldest {
+			delete(sh.sessions, oldest.id)
+			s.count.Add(-1)
+		}
+		sh.mu.Unlock()
 	}
 }
 
 func (s *server) lookup(id string) *session {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sessions[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sessions[id]
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -311,28 +359,51 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.log.Printf("session %s: ingest started", id)
 	}
 
+	// Records are decoded into a pooled chunk buffer and pushed in
+	// batches: one session-lock acquisition (and one pass of window
+	// evaluations) per chunk instead of per record, while /report
+	// snapshots interleave between chunks.
 	sr := trace.NewStreamReader(r.Body)
+	chunk := s.recPool.Get().(*[]trace.Record)
+	defer func() {
+		*chunk = (*chunk)[:0]
+		s.recPool.Put(chunk)
+	}()
 	for {
-		rec, err := sr.Next()
-		if err == io.EOF {
-			break
+		*chunk = (*chunk)[:0]
+		var readErr error
+		for len(*chunk) < ingestChunk {
+			rec, err := sr.Next()
+			if err != nil {
+				readErr = err
+				break
+			}
+			*chunk = append(*chunk, rec)
 		}
-		if err != nil {
-			s.fail(sess, err.Error())
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
+		timed := 0
 		sess.mu.Lock()
-		pushErr := sess.sa.Push(rec)
-		if pushErr == nil {
+		var pushErr error
+		for _, rec := range *chunk {
+			if pushErr = sess.sa.Push(rec); pushErr != nil {
+				break
+			}
 			if _, hasTime := rec.Time(); hasTime {
-				s.recordsTotal.Add(1)
+				timed++
 			}
 		}
 		sess.mu.Unlock()
+		s.recordsTotal.Add(int64(timed))
 		if pushErr != nil {
 			s.fail(sess, pushErr.Error())
 			httpError(w, http.StatusBadRequest, pushErr.Error())
+			return
+		}
+		if readErr == io.EOF {
+			break
+		}
+		if readErr != nil {
+			s.fail(sess, readErr.Error())
+			httpError(w, http.StatusBadRequest, readErr.Error())
 			return
 		}
 	}
@@ -341,15 +412,14 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	stats := sess.sa.Stats()
 	rep, err := sess.sa.Close()
 	if err != nil {
-		sess.state = "failed"
-		sess.err = err.Error()
+		s.detachLocked(sess, "failed", err.Error())
 		sess.mu.Unlock()
 		s.sessionsFailed.Add(1)
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	sess.state = "done"
 	sess.final = rep
+	s.detachLocked(sess, "done", "")
 	sess.mu.Unlock()
 	s.sessionsDone.Add(1)
 	s.lateDroppedTotal.Add(int64(stats.LateDropped))
@@ -360,11 +430,32 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.reportPayload(sess))
 }
 
+// detachLocked finalizes a session's state, captures the summary and
+// report the read endpoints keep serving, and recycles the analyzer
+// into the pool. A failed session keeps the partial analysis computed
+// up to the failure point. sess.mu must be held.
+func (s *server) detachLocked(sess *session, state, errMsg string) {
+	sess.state = state
+	sess.err = errMsg
+	sess.finished.Store(true)
+	if sa := sess.sa; sa != nil {
+		sess.stats = sa.Stats()
+		if hdr, ok := sa.Header(); ok {
+			sess.hdr, sess.hasHdr = hdr, true
+		}
+		if sess.final == nil {
+			sess.final = sa.Snapshot()
+		}
+		sess.sa = nil
+		sa.Reset()
+		s.saPool.Put(sa)
+	}
+}
+
 func (s *server) fail(sess *session, msg string) {
 	sess.mu.Lock()
 	if sess.state == "active" {
-		sess.state = "failed"
-		sess.err = msg
+		s.detachLocked(sess, "failed", msg)
 		s.sessionsFailed.Add(1)
 	}
 	sess.mu.Unlock()
@@ -411,7 +502,12 @@ type reportPayload struct {
 func (s *server) snapshot(sess *session) (*core.Report, sessionInfo) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	stats := sess.sa.Stats()
+	stats := sess.stats
+	hdr, hasHdr := sess.hdr, sess.hasHdr
+	if sess.sa != nil {
+		stats = sess.sa.Stats()
+		hdr, hasHdr = sess.sa.Header()
+	}
 	info := sessionInfo{
 		Session:     sess.id,
 		State:       sess.state,
@@ -421,13 +517,13 @@ func (s *server) snapshot(sess *session) (*core.Report, sessionInfo) {
 		LateDropped: stats.LateDropped,
 		WatermarkUs: int64(stats.Watermark),
 	}
-	if hdr, ok := sess.sa.Header(); ok {
+	if hasHdr {
 		info.Cell = hdr.CellName
 		info.Scenario = hdr.Scenario
 		info.DurationUs = int64(hdr.Duration)
 	}
 	rep := sess.final
-	if rep == nil {
+	if rep == nil && sess.sa != nil {
 		rep = sess.sa.Snapshot()
 	}
 	if rep != nil {
@@ -460,15 +556,20 @@ func (s *server) reportPayload(sess *session) reportPayload {
 }
 
 func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	s.mu.Unlock()
-	infos := make([]sessionInfo, 0, len(ids))
-	for _, id := range ids {
-		if sess := s.lookup(id); sess != nil {
-			_, info := s.snapshot(sess)
-			infos = append(infos, info)
+	var all []*session
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, sess := range sh.sessions {
+			all = append(all, sess)
 		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	infos := make([]sessionInfo, 0, len(all))
+	for _, sess := range all {
+		_, info := s.snapshot(sess)
+		infos = append(infos, info)
 	}
 	writeJSON(w, http.StatusOK, infos)
 }
@@ -483,16 +584,19 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
 	active := 0
-	for _, sess := range s.sessions {
-		sess.mu.Lock()
-		if sess.state == "active" {
-			active++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, sess := range sh.sessions {
+			sess.mu.Lock()
+			if sess.state == "active" {
+				active++
+			}
+			sess.mu.Unlock()
 		}
-		sess.mu.Unlock()
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "dominod_sessions_total %d\n", s.sessionsTotal.Load())

@@ -240,6 +240,55 @@ func TestIngestRejections(t *testing.T) {
 	}
 }
 
+// TestFailedSessionKeepsPartialReport pins the recycling path: when a
+// session fails mid-upload, its analyzer is returned to the pool but
+// /report/{id} must still serve the analysis computed up to the
+// failure point.
+func TestFailedSessionKeepsPartialReport(t *testing.T) {
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 2})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	_, body := sessionTrace(t, ran.Amarisoft(), 3, 10*sim.Second)
+	lines := bytes.SplitAfter(body, []byte("\n"))
+	partial := bytes.Join(lines[:len(lines)*3/4], nil)
+	partial = append(partial, []byte("not jsonl\n")...)
+
+	resp, err := http.Post(ts.URL+"/ingest?session=broken", "application/jsonl", bytes.NewReader(partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken upload: %d, want 400", resp.StatusCode)
+	}
+	var rep reportPayload
+	getJSON(t, ts.URL+"/report/broken", &rep)
+	if rep.State != "failed" || rep.Error == "" {
+		t.Fatalf("state %q error %q, want a failed session with its error", rep.State, rep.Error)
+	}
+	if rep.Records == 0 || rep.Windows == 0 {
+		t.Fatalf("no partial progress recorded: %+v", rep.sessionInfo)
+	}
+	// The report body (not just the summary counters) must survive the
+	// analyzer's return to the pool: this prefix detects consequence
+	// events, so the degradation rate computed from the snapshot is
+	// nonzero.
+	if rep.DegradationPerMin == 0 {
+		t.Fatalf("partial report body lost: %+v", rep.sessionInfo)
+	}
+	events := 0
+	for _, st := range rep.Consequences {
+		events += st.Events
+	}
+	for _, st := range rep.Causes {
+		events += st.Events
+	}
+	if events == 0 {
+		t.Fatalf("partial report serves no cause/consequence events: %+v", rep)
+	}
+}
+
 // TestSessionEviction bounds retention: with MaxSessions 3, finishing
 // a fourth session evicts the oldest finished one.
 func TestSessionEviction(t *testing.T) {

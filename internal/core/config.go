@@ -1,0 +1,138 @@
+package core
+
+import (
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// DetectorConfig holds the window geometry and every event-condition
+// threshold of Table 5. Users override individual fields to tune
+// detection for their deployment; zero values select paper defaults.
+type DetectorConfig struct {
+	// Window is the sliding-window length W (paper: 5 s).
+	Window sim.Time
+	// Step is the window advance Δt (paper: 0.5 s).
+	Step sim.Time
+
+	// FPSHigh/FPSLow: frame-rate drop needs max > FPSHigh before a
+	// min < FPSLow (events 1–2).
+	FPSHigh, FPSLow float64
+	// JBDrainMs: a jitter-buffer sample at or below this counts as a
+	// drain to zero (event 4).
+	JBDrainMs float64
+	// RelDrop is the relative decrease that counts as a downtrend for
+	// target/pushback rates (events 5, 7) — suppresses estimator noise.
+	RelDrop float64
+	// PushbackNeqFrac: pushback ≠ target when pushback < target×(1−f)
+	// (event 10).
+	PushbackNeqFrac float64
+	// DelayUpMs: delay-uptrend events additionally require a delay
+	// sample above this (events 11–12; paper: 80 ms).
+	DelayUpMs float64
+	// TrendGroup is the sample count per averaging group for uptrend
+	// detection (paper: 10).
+	TrendGroup int
+	// TBSDropFrac: TBS drop when min < frac × max (event 13; paper 0.8).
+	TBSDropFrac float64
+	// RateExceedFrac: fraction of window bins where app rate exceeds
+	// TBS rate (event 14; paper 0.1).
+	RateExceedFrac float64
+	// RateBin is the bin width for event 14.
+	RateBin sim.Time
+	// CrossFrac: other-UE PRBs exceed this fraction of own PRBs
+	// (event 15; paper 0.2).
+	CrossFrac float64
+	// MCSGroup is the grouping window for event 16 (paper 50 ms).
+	MCSGroup sim.Time
+	// MCSP90Below / MCSMedianBelow / MCSLowCount: event 16 thresholds
+	// (paper: p90 < 20, median < 10 in more than 10 groups).
+	MCSP90Below    float64
+	MCSMedianBelow float64
+	MCSLowCount    int
+	// HARQCount: HARQ retx instances per window that count as an event
+	// (event 17; paper 10).
+	HARQCount int
+}
+
+// DefaultDetectorConfig returns the paper's Table 5 thresholds.
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{
+		Window:          5 * sim.Second,
+		Step:            500 * sim.Millisecond,
+		FPSHigh:         27,
+		FPSLow:          25,
+		JBDrainMs:       0.5,
+		RelDrop:         0.05,
+		PushbackNeqFrac: 0.02,
+		DelayUpMs:       80,
+		TrendGroup:      10,
+		TBSDropFrac:     0.8,
+		RateExceedFrac:  0.10,
+		RateBin:         100 * sim.Millisecond,
+		CrossFrac:       0.20,
+		MCSGroup:        50 * sim.Millisecond,
+		MCSP90Below:     20,
+		MCSMedianBelow:  10,
+		MCSLowCount:     10,
+		HARQCount:       10,
+	}
+}
+
+// normalize fills zero fields with defaults.
+func (c DetectorConfig) normalize() DetectorConfig {
+	d := DefaultDetectorConfig()
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.Step <= 0 {
+		c.Step = d.Step
+	}
+	if c.FPSHigh == 0 {
+		c.FPSHigh = d.FPSHigh
+	}
+	if c.FPSLow == 0 {
+		c.FPSLow = d.FPSLow
+	}
+	if c.JBDrainMs == 0 {
+		c.JBDrainMs = d.JBDrainMs
+	}
+	if c.RelDrop == 0 {
+		c.RelDrop = d.RelDrop
+	}
+	if c.PushbackNeqFrac == 0 {
+		c.PushbackNeqFrac = d.PushbackNeqFrac
+	}
+	if c.DelayUpMs == 0 {
+		c.DelayUpMs = d.DelayUpMs
+	}
+	if c.TrendGroup == 0 {
+		c.TrendGroup = d.TrendGroup
+	}
+	if c.TBSDropFrac == 0 {
+		c.TBSDropFrac = d.TBSDropFrac
+	}
+	if c.RateExceedFrac == 0 {
+		c.RateExceedFrac = d.RateExceedFrac
+	}
+	if c.RateBin == 0 {
+		c.RateBin = d.RateBin
+	}
+	if c.CrossFrac == 0 {
+		c.CrossFrac = d.CrossFrac
+	}
+	if c.MCSGroup == 0 {
+		c.MCSGroup = d.MCSGroup
+	}
+	if c.MCSP90Below == 0 {
+		c.MCSP90Below = d.MCSP90Below
+	}
+	if c.MCSMedianBelow == 0 {
+		c.MCSMedianBelow = d.MCSMedianBelow
+	}
+	if c.MCSLowCount == 0 {
+		c.MCSLowCount = d.MCSLowCount
+	}
+	if c.HARQCount == 0 {
+		c.HARQCount = d.HARQCount
+	}
+	return c
+}

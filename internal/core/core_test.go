@@ -353,12 +353,12 @@ dl_harq_retx --> forward_delay_up --> local_jitter_buffer_drain
 	}
 	chains := g.EnumerateChains()
 	for mask := 0; mask < 8; mask++ {
-		v := FeatureVector{Active: map[string]bool{
+		v := NewFeatureVector(map[string]bool{
 			"dl_rlc_retx":               mask&1 != 0,
 			"dl_harq_retx":              mask&2 != 0,
 			"forward_delay_up":          mask&4 != 0,
 			"local_jitter_buffer_drain": true,
-		}}
+		})
 		for _, c := range chains {
 			want := true
 			for _, n := range c.Nodes {

@@ -20,6 +20,7 @@ type Analyzer struct {
 	cfg    DetectorConfig
 	graph  *Graph
 	chains []Chain
+	comp   compiledGraph
 }
 
 // NewAnalyzer builds an analyzer. A nil graph selects the paper's
@@ -31,7 +32,87 @@ func NewAnalyzer(cfg DetectorConfig, graph *Graph) (*Analyzer, error) {
 	if err := graph.Validate(); err != nil {
 		return nil, err
 	}
-	return &Analyzer{cfg: cfg.normalize(), graph: graph, chains: graph.EnumerateChains()}, nil
+	chains := graph.EnumerateChains()
+	return &Analyzer{
+		cfg:    cfg.normalize(),
+		graph:  graph,
+		chains: chains,
+		comp:   compileGraph(graph, chains),
+	}, nil
+}
+
+// compiledGraph is the causal DAG pre-resolved to index form, computed
+// once per Analyzer so the per-window Step touches no strings or maps:
+// nodes get dense integer IDs, every node's (alias-expanded) feature
+// set becomes one FeatureBits mask, and chains become node-ID lists.
+type compiledGraph struct {
+	nodes        []string      // graph.Nodes() order; index = node ID
+	nodeMask     []FeatureBits // per node: OR of its canonical features
+	consequences []int         // consequence node IDs, stable order
+	chainNodes   [][]int32     // per chain (ID-1): node IDs on the path
+	chainCauseID []int32       // per chain: index into causes
+	causes       []string      // distinct chain causes, ascending
+}
+
+// compileGraph resolves the graph. A node's mask ORs the feature bits
+// of every canonical feature reachable through its alias expansion —
+// exactly Graph.NodeActive's recursion, evaluated once. Names that
+// reach no canonical feature get a zero mask and are never active,
+// matching the map-based evaluation of unknown features.
+func compileGraph(g *Graph, chains []Chain) compiledGraph {
+	nodes := g.Nodes()
+	id := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		id[n] = i
+	}
+	cg := compiledGraph{nodes: nodes, nodeMask: make([]FeatureBits, len(nodes))}
+	var resolve func(name string, seen map[string]bool) FeatureBits
+	resolve = func(name string, seen map[string]bool) FeatureBits {
+		if members, ok := g.aliases[name]; ok {
+			if seen[name] {
+				return 0
+			}
+			seen[name] = true
+			var m FeatureBits
+			for _, mem := range members {
+				m |= resolve(mem, seen)
+			}
+			delete(seen, name)
+			return m
+		}
+		var b FeatureBits
+		if i, ok := FeatureID(name); ok {
+			b.Set(i)
+		}
+		return b
+	}
+	seen := make(map[string]bool)
+	for i, n := range nodes {
+		cg.nodeMask[i] = resolve(n, seen)
+	}
+	for _, n := range g.Consequences() {
+		cg.consequences = append(cg.consequences, id[n])
+	}
+	causeID := make(map[string]int)
+	for _, c := range chains {
+		if _, ok := causeID[c.Cause()]; !ok {
+			causeID[c.Cause()] = 0
+			cg.causes = append(cg.causes, c.Cause())
+		}
+	}
+	sortStrings(cg.causes)
+	for i, name := range cg.causes {
+		causeID[name] = i
+	}
+	for _, c := range chains {
+		ids := make([]int32, len(c.Nodes))
+		for k, n := range c.Nodes {
+			ids[k] = int32(id[n])
+		}
+		cg.chainNodes = append(cg.chainNodes, ids)
+		cg.chainCauseID = append(cg.chainCauseID, int32(causeID[c.Cause()]))
+	}
+	return cg
 }
 
 // Graph returns the analyzer's causal graph.
@@ -98,12 +179,12 @@ func (a *Analyzer) Analyze(set *trace.Set) (*Report, error) {
 	if err := set.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid trace: %w", err)
 	}
-	ix := newIndexedTrace(set)
+	ix := newIndexedTrace(set, a.cfg)
 	inc := a.NewIncremental(set.CellName)
 	inc.SetScenario(set.Scenario)
 	end := set.Duration - a.cfg.Window
 	for start := sim.Time(0); start <= end; start += a.cfg.Step {
-		inc.Step(ix.evalWindow(a.cfg, start))
+		inc.Step(ix.evalWindow(start))
 	}
 	rep, _, _ := inc.Finish(set.Duration)
 	return rep, nil

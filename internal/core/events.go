@@ -4,431 +4,267 @@ import (
 	"sort"
 
 	"github.com/domino5g/domino/internal/sim"
-	"github.com/domino5g/domino/internal/trace"
 )
 
-// DetectorConfig holds the window geometry and every event-condition
-// threshold of Table 5. Users override individual fields to tune
-// detection for their deployment; zero values select paper defaults.
-type DetectorConfig struct {
-	// Window is the sliding-window length W (paper: 5 s).
-	Window sim.Time
-	// Step is the window advance Δt (paper: 0.5 s).
-	Step sim.Time
-
-	// FPSHigh/FPSLow: frame-rate drop needs max > FPSHigh before a
-	// min < FPSLow (events 1–2).
-	FPSHigh, FPSLow float64
-	// JBDrainMs: a jitter-buffer sample at or below this counts as a
-	// drain to zero (event 4).
-	JBDrainMs float64
-	// RelDrop is the relative decrease that counts as a downtrend for
-	// target/pushback rates (events 5, 7) — suppresses estimator noise.
-	RelDrop float64
-	// PushbackNeqFrac: pushback ≠ target when pushback < target×(1−f)
-	// (event 10).
-	PushbackNeqFrac float64
-	// DelayUpMs: delay-uptrend events additionally require a delay
-	// sample above this (events 11–12; paper: 80 ms).
-	DelayUpMs float64
-	// TrendGroup is the sample count per averaging group for uptrend
-	// detection (paper: 10).
-	TrendGroup int
-	// TBSDropFrac: TBS drop when min < frac × max (event 13; paper 0.8).
-	TBSDropFrac float64
-	// RateExceedFrac: fraction of window bins where app rate exceeds
-	// TBS rate (event 14; paper 0.1).
-	RateExceedFrac float64
-	// RateBin is the bin width for event 14.
-	RateBin sim.Time
-	// CrossFrac: other-UE PRBs exceed this fraction of own PRBs
-	// (event 15; paper 0.2).
-	CrossFrac float64
-	// MCSGroup is the grouping window for event 16 (paper 50 ms).
-	MCSGroup sim.Time
-	// MCSP90Below / MCSMedianBelow / MCSLowCount: event 16 thresholds
-	// (paper: p90 < 20, median < 10 in more than 10 groups).
-	MCSP90Below    float64
-	MCSMedianBelow float64
-	MCSLowCount    int
-	// HARQCount: HARQ retx instances per window that count as an event
-	// (event 17; paper 10).
-	HARQCount int
-}
-
-// DefaultDetectorConfig returns the paper's Table 5 thresholds.
-func DefaultDetectorConfig() DetectorConfig {
-	return DetectorConfig{
-		Window:          5 * sim.Second,
-		Step:            500 * sim.Millisecond,
-		FPSHigh:         27,
-		FPSLow:          25,
-		JBDrainMs:       0.5,
-		RelDrop:         0.05,
-		PushbackNeqFrac: 0.02,
-		DelayUpMs:       80,
-		TrendGroup:      10,
-		TBSDropFrac:     0.8,
-		RateExceedFrac:  0.10,
-		RateBin:         100 * sim.Millisecond,
-		CrossFrac:       0.20,
-		MCSGroup:        50 * sim.Millisecond,
-		MCSP90Below:     20,
-		MCSMedianBelow:  10,
-		MCSLowCount:     10,
-		HARQCount:       10,
-	}
-}
-
-// normalize fills zero fields with defaults.
-func (c DetectorConfig) normalize() DetectorConfig {
-	d := DefaultDetectorConfig()
-	if c.Window <= 0 {
-		c.Window = d.Window
-	}
-	if c.Step <= 0 {
-		c.Step = d.Step
-	}
-	if c.FPSHigh == 0 {
-		c.FPSHigh = d.FPSHigh
-	}
-	if c.FPSLow == 0 {
-		c.FPSLow = d.FPSLow
-	}
-	if c.JBDrainMs == 0 {
-		c.JBDrainMs = d.JBDrainMs
-	}
-	if c.RelDrop == 0 {
-		c.RelDrop = d.RelDrop
-	}
-	if c.PushbackNeqFrac == 0 {
-		c.PushbackNeqFrac = d.PushbackNeqFrac
-	}
-	if c.DelayUpMs == 0 {
-		c.DelayUpMs = d.DelayUpMs
-	}
-	if c.TrendGroup == 0 {
-		c.TrendGroup = d.TrendGroup
-	}
-	if c.TBSDropFrac == 0 {
-		c.TBSDropFrac = d.TBSDropFrac
-	}
-	if c.RateExceedFrac == 0 {
-		c.RateExceedFrac = d.RateExceedFrac
-	}
-	if c.RateBin == 0 {
-		c.RateBin = d.RateBin
-	}
-	if c.CrossFrac == 0 {
-		c.CrossFrac = d.CrossFrac
-	}
-	if c.MCSGroup == 0 {
-		c.MCSGroup = d.MCSGroup
-	}
-	if c.MCSP90Below == 0 {
-		c.MCSP90Below = d.MCSP90Below
-	}
-	if c.MCSMedianBelow == 0 {
-		c.MCSMedianBelow = d.MCSMedianBelow
-	}
-	if c.MCSLowCount == 0 {
-		c.MCSLowCount = d.MCSLowCount
-	}
-	if c.HARQCount == 0 {
-		c.HARQCount = d.HARQCount
-	}
-	return c
-}
-
-// evalWindow computes the 36-dim feature vector for [start, start+W).
-func (ix *indexedTrace) evalWindow(cfg DetectorConfig, start sim.Time) FeatureVector {
+// evalWindow computes the 36-dim feature vector for [start, start+W)
+// using the rolling aggregates: count/sum conditions read two entries
+// of a cumulative array, extremum conditions read deque fronts, and
+// the bin-shaped conditions read cached per-bucket aggregates. Only
+// the grouped-trend conditions (events 9, 11–12) still scan their
+// window span — they group by window-relative sample index, which has
+// no incremental form — and they do so allocation-free.
+//
+// Window starts must be non-decreasing across calls (the pattern both
+// batch Analyze and the streaming analyzer produce). evalWindowFull is
+// the retained position-independent oracle; differential tests pin the
+// two byte-identical across every scenario.
+func (ix *indexedTrace) evalWindow(start sim.Time) FeatureVector {
+	cfg := &ix.cfg
 	end := start + cfg.Window
-	v := FeatureVector{Start: start, End: end, Active: make(map[string]bool, 36)}
+	ix.advanceRoll(end)
+	ix.retireRoll(start)
+	v := FeatureVector{Start: start, End: end}
+	r := &ix.roll
 
 	// --- Application events, per side (events 1–10). ---
-	for si, prefix := range []string{"local_", "remote_"} {
+	for si := 0; si < 2; si++ {
 		lo, hi := window(ix.statsAt[si], start, end)
-		recs := ix.stats[si][lo:hi]
-		if len(recs) == 0 {
+		if hi == lo {
 			continue
 		}
+		base := fidAppBase(si)
+		c := &ix.statsCum[si]
 		// 1–2: frame-rate drops (max > high before min < low).
-		v.Active[prefix+FInboundFPSDown] = fpsDrop(recs, cfg, func(r int) float64 { return recs[r].InboundFPS })
-		v.Active[prefix+FOutboundFPSDown] = fpsDrop(recs, cfg, func(r int) float64 { return recs[r].OutboundFPS })
-		// 3: outbound resolution downtrend.
-		for i := 1; i < len(recs); i++ {
-			if recs[i].OutboundHeight < recs[i-1].OutboundHeight {
-				v.Active[prefix+FOutboundResDown] = true
-				break
-			}
+		if extremaDrop(&r.inFPSMax[si], &r.inFPSMin[si], cfg.FPSHigh, cfg.FPSLow) {
+			v.Bits.Set(base + appInFPS)
 		}
-		// 4: jitter buffer drains to zero.
-		for i := range recs {
-			if recs[i].VideoJBDelayMs <= cfg.JBDrainMs && recs[i].At > recs[0].At {
-				v.Active[prefix+FJitterBufferDrain] = true
-				break
+		if extremaDrop(&r.outFPSMax[si], &r.outFPSMin[si], cfg.FPSHigh, cfg.FPSLow) {
+			v.Bits.Set(base + appOutFPS)
+		}
+		// 3: outbound resolution downtrend (adjacent-pair decrease).
+		if cum32(c.resDown, lo+1, hi) > 0 {
+			v.Bits.Set(base + appResDown)
+		}
+		// 4: jitter buffer drains to zero, strictly after the window's
+		// first sample time.
+		if cum32(c.drain, lo, hi) > 0 {
+			j := lo
+			for j < hi && ix.statsAt[si][j] == ix.statsAt[si][lo] {
+				j++
+			}
+			if cum32(c.drain, j, hi) > 0 {
+				v.Bits.Set(base + appJBDrain)
 			}
 		}
 		// 5: target bitrate downtrend.
-		v.Active[prefix+FTargetBitrateDown] = relDrop(recs, cfg.RelDrop, func(r int) float64 { return recs[r].TargetBitrateBps })
+		if cum32(c.targetDrop, lo+1, hi) > 0 {
+			v.Bits.Set(base + appTargetDown)
+		}
 		// 6: GCC overuse entry.
-		for i := range recs {
-			if recs[i].GCCNetState.String() == "overuse" {
-				v.Active[prefix+FGCCOveruse] = true
-				break
-			}
+		if cum32(c.overuse, lo, hi) > 0 {
+			v.Bits.Set(base + appOveruse)
 		}
 		// 7: pushback rate downtrend.
-		v.Active[prefix+FPushbackRateDown] = relDrop(recs, cfg.RelDrop, func(r int) float64 { return recs[r].PushbackRateBps })
+		if cum32(c.pushDrop, lo+1, hi) > 0 {
+			v.Bits.Set(base + appPushDown)
+		}
 		// 8: congestion window full.
-		for i := range recs {
-			if recs[i].CongestionWindow > 0 && recs[i].OutstandingBytes > recs[i].CongestionWindow {
-				v.Active[prefix+FCwndFull] = true
-				break
-			}
+		if cum32(c.cwndFull, lo, hi) > 0 {
+			v.Bits.Set(base + appCwndFull)
 		}
 		// 9: windowed outstanding-bytes uptrend.
-		out := make([]float64, len(recs))
-		for i := range recs {
-			out[i] = float64(recs[i].OutstandingBytes)
+		if ix.outstandingUptrend(si, lo, hi, cfg.TrendGroup) {
+			v.Bits.Set(base + appOutstanding)
 		}
-		v.Active[prefix+FOutstandingUp] = groupedUptrend(out, cfg.TrendGroup, 0)
 		// 10: pushback unequal to target.
-		for i := range recs {
-			if recs[i].PushbackRateBps < recs[i].TargetBitrateBps*(1-cfg.PushbackNeqFrac) {
-				v.Active[prefix+FPushbackNeqTarget] = true
-				break
-			}
+		if cum32(c.pushNeq, lo, hi) > 0 {
+			v.Bits.Set(base + appPushNeq)
 		}
 	}
 
 	// --- Path delay events (11–12). ---
-	v.Active[FForwardDelayUp] = delayUptrend(ix.fwdAt, ix.fwdDelay, start, end, cfg)
-	v.Active[FReverseDelayUp] = delayUptrend(ix.revAt, ix.revDelay, start, end, cfg)
+	if ix.delayUptrendRolling(ix.fwdAt, ix.fwdDelay, ix.fwdCumHigh, start, end) {
+		v.Bits.Set(fidFwdDelay)
+	}
+	if ix.delayUptrendRolling(ix.revAt, ix.revDelay, ix.revCumHigh, start, end) {
+		v.Bits.Set(fidRevDelay)
+	}
 
 	// --- 5G events per direction (13–18). ---
-	for di, prefix := range []string{"ul_", "dl_"} {
+	var dciLo [2]int
+	var dciHi [2]int
+	for di := 0; di < 2; di++ {
 		lo, hi := window(ix.dciAt[di], start, end)
-		at := ix.dciAt[di][lo:hi]
-		own := ix.dciOwn[di][lo:hi]
-		other := ix.dciOther[di][lo:hi]
-		mcs := ix.dciMCS[di][lo:hi]
-		tbs := ix.dciTBS[di][lo:hi]
-		harq := ix.dciHARQ[di][lo:hi]
+		dciLo[di], dciHi[di] = lo, hi
+		base := fidCellBase(di)
 
 		// 13: allocated TBS drop (min < frac × max, max before min).
-		v.Active[prefix+FTBSDown] = tbsDrop(tbs, cfg.TBSDropFrac)
-		// 14: app bitrate exceeds allocated TBS for >10% of the window.
-		v.Active[prefix+FRateExceedsTBS] = ix.rateExceeds(di, at, tbs, start, end, cfg)
-		// 15: cross traffic.
-		sumOwn, sumOther := 0, 0
-		for i := range own {
-			sumOwn += own[i]
-			sumOther += other[i]
+		if extremaDropFrac(&r.tbsMax[di], &r.tbsMin[di], cfg.TBSDropFrac) {
+			v.Bits.Set(base + cellTBSDown)
 		}
+		// 14: app bitrate exceeds allocated TBS for >10% of the window.
+		if ix.rateExceedsRolling(di, start, end) {
+			v.Bits.Set(base + cellRateExceeds)
+		}
+		// 15: cross traffic.
+		sumOwn := cum64(ix.dciCumOwn[di], lo, hi)
+		sumOther := cum64(ix.dciCumOther[di], lo, hi)
 		if sumOther > 0 && float64(sumOther) > cfg.CrossFrac*float64(max(sumOwn, 1)) {
-			v.Active[prefix+FCrossTraffic] = true
+			v.Bits.Set(base + cellCross)
 		}
 		// 16: channel degradation from grouped MCS statistics.
-		v.Active[prefix+FChannelDegrade] = mcsDegraded(at, mcs, own, start, cfg)
-		// 17: HARQ retransmissions.
-		retx := 0
-		for _, h := range harq {
-			if h {
-				retx++
-			}
+		if ix.mcsDegradedRolling(di, start, end) {
+			v.Bits.Set(base + cellChanDegrade)
 		}
-		v.Active[prefix+FHARQRetx] = retx > cfg.HARQCount
+		// 17: HARQ retransmissions.
+		if cum32(ix.dciCumHARQ[di], lo, hi) > cfg.HARQCount {
+			v.Bits.Set(base + cellHARQ)
+		}
 		// 18: RLC retransmission (gNB log or DCI flag).
 		rlo, rhi := window(ix.rlcAt[di], start, end)
-		v.Active[prefix+FRLCRetx] = rhi > rlo
+		if rhi > rlo {
+			v.Bits.Set(base + cellRLC)
+		}
 	}
 
 	// 19: uplink scheduling — any own uplink transmission in window.
-	lo, hi := window(ix.dciAt[0], start, end)
-	for _, used := range ix.dciULUse[0][lo:hi] {
-		if used {
-			v.Active[FULScheduling] = true
-			break
-		}
+	if cum32(ix.dciCumULUse[0], dciLo[0], dciHi[0]) > 0 {
+		v.Bits.Set(fidULSched)
 	}
 	// 20: RRC state change (RNTI change).
 	rlo, rhi := window(ix.rrcAt, start, end)
-	v.Active[FRRCChange] = rhi > rlo
+	if rhi > rlo {
+		v.Bits.Set(fidRRC)
+	}
 
 	return v
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// fpsDrop implements events 1–2: max > high, min < low, max before min.
-func fpsDrop(recs []traceStats, cfg DetectorConfig, get func(int) float64) bool {
-	maxV, minV := -1.0, 1e18
-	maxI, minI := -1, -1
-	for i := range recs {
-		fv := get(i)
-		if fv > maxV {
-			maxV, maxI = fv, i
-		}
-		if fv < minV {
-			minV, minI = fv, i
-		}
-	}
-	return maxV > cfg.FPSHigh && minV < cfg.FPSLow && maxI < minI
-}
-
-// relDrop reports a relative decrease between consecutive samples.
-func relDrop(recs []traceStats, frac float64, get func(int) float64) bool {
-	for i := 1; i < len(recs); i++ {
-		prev, cur := get(i-1), get(i)
-		if prev > 0 && cur < prev*(1-frac) {
-			return true
-		}
-	}
-	return false
-}
-
-// groupedUptrend implements the Appendix-D windowed-mean uptrend: split
-// the series into groups of n, compare consecutive group means.
-func groupedUptrend(xs []float64, n int, eps float64) bool {
-	if n <= 0 || len(xs) < 2*n {
+// extremaDrop implements events 1–2 over the rolling deques: window
+// max above high, min below low, and the (earliest) max attained
+// before the (earliest) min.
+func extremaDrop(maxD, minD *extrema, high, low float64) bool {
+	if maxD.empty() {
 		return false
 	}
-	var means []float64
-	for i := 0; i+n <= len(xs); i += n {
+	maxSeq, maxV := maxD.front()
+	minSeq, minV := minD.front()
+	return maxV > high && minV < low && maxSeq < minSeq
+}
+
+// extremaDropFrac implements event 13 over the rolling deques (nonzero
+// TBS samples only): min < frac × max with the max attained first.
+func extremaDropFrac(maxD, minD *extrema, frac float64) bool {
+	if maxD.empty() {
+		return false
+	}
+	maxSeq, maxV := maxD.front()
+	minSeq, minV := minD.front()
+	return minV < frac*maxV && maxSeq < minSeq
+}
+
+// groupUptrendAt is the single rolling-path implementation of the
+// Appendix-D grouped-mean uptrend (kept semantically identical to the
+// oracle's groupedUptrend at eps=0): split the cnt window samples
+// starting at index lo into groups of n, summing sample k via get,
+// and report any consecutive group-mean increase. The callback does
+// not escape, so the scan allocates nothing.
+func groupUptrendAt(lo, cnt, n int, get func(int) float64) bool {
+	if n <= 0 || cnt < 2*n {
+		return false
+	}
+	prev := 0.0
+	for g := 0; g+n <= cnt; g += n {
 		var s float64
-		for _, x := range xs[i : i+n] {
-			s += x
+		for k := lo + g; k < lo+g+n; k++ {
+			s += get(k)
 		}
-		means = append(means, s/float64(n))
-	}
-	for i := 1; i < len(means); i++ {
-		if means[i] > means[i-1]*(1+eps)+eps {
+		m := s / float64(n)
+		if g > 0 && m > prev {
 			return true
 		}
+		prev = m
 	}
 	return false
 }
 
-// delayUptrend implements events 11–12: grouped-mean uptrend plus a
-// sample above DelayUpMs.
-func delayUptrend(at []sim.Time, delay []float64, start, end sim.Time, cfg DetectorConfig) bool {
+// outstandingUptrend implements event 9: grouped-mean uptrend over the
+// window's outstanding-bytes samples, grouped by window-relative index.
+func (ix *indexedTrace) outstandingUptrend(si, lo, hi, n int) bool {
+	recs := ix.stats[si]
+	return groupUptrendAt(lo, hi-lo, n, func(k int) float64 { return float64(recs[k].OutstandingBytes) })
+}
+
+// delayUptrendRolling implements events 11–12: the above-threshold
+// gate reads the cumulative count; only windows that pass it (and hold
+// enough samples) pay for the grouped-mean scan.
+func (ix *indexedTrace) delayUptrendRolling(at []sim.Time, delay []float64, cumHigh []int32, start, end sim.Time) bool {
+	n := ix.cfg.TrendGroup
 	lo, hi := window(at, start, end)
-	ds := delay[lo:hi]
-	if len(ds) < 2*cfg.TrendGroup {
+	if hi-lo < 2*n {
 		return false
 	}
-	maxD := 0.0
-	for _, d := range ds {
-		if d > maxD {
-			maxD = d
-		}
-	}
-	if maxD <= cfg.DelayUpMs {
+	if cum32(cumHigh, lo, hi) == 0 {
 		return false
 	}
-	return groupedUptrend(ds, cfg.TrendGroup, 0)
+	return groupUptrendAt(lo, hi-lo, n, func(k int) float64 { return delay[k] })
 }
 
-// tbsDrop implements event 13 over own-UE TBS samples.
-func tbsDrop(tbs []int, frac float64) bool {
-	maxV, minV := -1, 1<<62
-	maxI, minI := -1, -1
-	for i, t := range tbs {
-		if t == 0 {
-			continue // slots without own allocation
-		}
-		if t > maxV {
-			maxV, maxI = t, i
-		}
-		if t < minV {
-			minV, minI = t, i
-		}
-	}
-	if maxI < 0 || minI < 0 {
-		return false
-	}
-	return float64(minV) < frac*float64(maxV) && maxI < minI
-}
-
-// rateExceeds implements event 14: the fraction of RateBin bins where
-// the application send rate exceeds the PHY-allocated rate.
-func (ix *indexedTrace) rateExceeds(di int, dciAt []sim.Time, tbs []int, start, end sim.Time, cfg DetectorConfig) bool {
+// rateExceedsRolling implements event 14 over the cached per-bin sums
+// when the window start is bin-aligned (always true when Step is a
+// multiple of RateBin, as in the paper's geometry); otherwise it falls
+// back to the full recompute.
+func (ix *indexedTrace) rateExceedsRolling(di int, start, end sim.Time) bool {
+	cfg := &ix.cfg
 	bins := int((end - start) / cfg.RateBin)
 	if bins == 0 {
 		return false
+	}
+	if start%cfg.RateBin != 0 {
+		return ix.rateExceedsFull(di, start, end)
 	}
 	appLo, appHi := window(ix.appAt[di], start, end)
 	if appHi == appLo {
 		return false
 	}
-	appBits := make([]float64, bins)
-	for i := appLo; i < appHi; i++ {
-		b := int((ix.appAt[di][i] - start) / cfg.RateBin)
-		if b >= 0 && b < bins {
-			appBits[b] += float64(ix.appBytes[di][i] * 8)
-		}
-	}
-	tbsBits := make([]float64, bins)
-	for i, at := range dciAt {
-		b := int((at - start) / cfg.RateBin)
-		if b >= 0 && b < bins {
-			tbsBits[b] += float64(tbs[i])
-		}
-	}
+	base := int64(start / cfg.RateBin)
 	exceed := 0
 	for b := 0; b < bins; b++ {
-		if appBits[b] > tbsBits[b] {
+		if ix.roll.rateApp[di].get(base+int64(b)) > ix.roll.rateTBS[di].get(base+int64(b)) {
 			exceed++
 		}
 	}
 	return float64(exceed) > cfg.RateExceedFrac*float64(bins)
 }
 
-// mcsDegraded implements event 16: group own-UE MCS samples into
-// MCSGroup windows; the channel is degraded when the 90th percentile of
-// group medians is below MCSP90Below and more than MCSLowCount groups
-// have a median below MCSMedianBelow.
-func mcsDegraded(at []sim.Time, mcs, own []int, start sim.Time, cfg DetectorConfig) bool {
-	groups := make(map[int][]float64)
-	for i := range at {
-		if own[i] == 0 {
+// mcsDegradedRolling implements event 16 over the cached per-bucket
+// medians when both window edges are bucket-aligned (a queried bucket
+// must be complete before its median is cached, so the window end may
+// not split one); otherwise it falls back to the full recompute.
+func (ix *indexedTrace) mcsDegradedRolling(di int, start, end sim.Time) bool {
+	cfg := &ix.cfg
+	if start%cfg.MCSGroup != 0 || (end-start)%cfg.MCSGroup != 0 {
+		return ix.mcsDegradedFull(di, start, end)
+	}
+	first := int64(start / cfg.MCSGroup)
+	last := int64((end - 1) / cfg.MCSGroup)
+	medians := ix.scratch.medians[:0]
+	low := 0
+	for b := first; b <= last; b++ {
+		m, n := ix.roll.mcs[di].median(b)
+		if n == 0 {
 			continue
 		}
-		g := int((at[i] - start) / cfg.MCSGroup)
-		groups[g] = append(groups[g], float64(mcs[i]))
-	}
-	if len(groups) == 0 {
-		return false
-	}
-	var medians []float64
-	low := 0
-	for _, xs := range groups {
-		m := median(xs)
 		medians = append(medians, m)
 		if m < cfg.MCSMedianBelow {
 			low++
 		}
 	}
-	return percentile(medians, 0.90) < cfg.MCSP90Below && low > cfg.MCSLowCount
-}
-
-func median(xs []float64) float64 { return percentile(xs, 0.5) }
-
-func percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
+	ix.scratch.medians = medians
+	if len(medians) == 0 {
+		return false
 	}
-	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
-	i := int(p * float64(len(cp)-1))
-	return cp[i]
+	sort.Float64s(medians)
+	p90 := medians[int(0.90*float64(len(medians)-1))]
+	return p90 < cfg.MCSP90Below && low > cfg.MCSLowCount
 }
-
-// traceStats aliases the record type for the helper signatures above.
-type traceStats = trace.WebRTCStatsRecord

@@ -15,8 +15,14 @@ import (
 func evalOne(t *testing.T, set *trace.Set) FeatureVector {
 	t.Helper()
 	set.Sort()
-	ix := newIndexedTrace(set)
-	return ix.evalWindow(DefaultDetectorConfig(), 0)
+	cfg := DefaultDetectorConfig()
+	ix := newIndexedTrace(set, cfg)
+	v := ix.evalWindow(0)
+	if full := ix.evalWindowFull(cfg, 0); full.Bits != v.Bits {
+		t.Fatalf("rolling evaluation diverged from full recompute:\nrolling: %v\nfull:    %v",
+			v.Active(), full.Active())
+	}
+	return v
 }
 
 // statsSeries builds a 5 s local stats series at 50 ms and lets the

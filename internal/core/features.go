@@ -6,11 +6,9 @@
 package core
 
 import (
-	"sort"
+	"math/bits"
 
-	"github.com/domino5g/domino/internal/netem"
 	"github.com/domino5g/domino/internal/sim"
-	"github.com/domino5g/domino/internal/trace"
 )
 
 // Canonical feature names. The vector has 36 dimensions: ten
@@ -57,287 +55,157 @@ var cellEvents = []string{
 	FTBSDown, FRateExceedsTBS, FCrossTraffic, FChannelDegrade, FHARQRetx, FRLCRetx,
 }
 
-// FeatureNames returns the 36 canonical feature names in stable order.
-func FeatureNames() []string {
-	out := make([]string, 0, 36)
+// NumFeatures is the dimensionality of the feature vector.
+const NumFeatures = 36
+
+// Feature indices: the bit position of every canonical feature inside a
+// FeatureBits word, in FeatureNames order. Application events occupy
+// [fidAppBase(si), fidAppBase(si)+10) per side, cell events
+// [fidCellBase(di), fidCellBase(di)+6) per direction.
+const (
+	fidFwdDelay = 20
+	fidRevDelay = 21
+	fidULSched  = 34
+	fidRRC      = 35
+)
+
+// Offsets of the app events within a side's block, in appEvents order.
+const (
+	appInFPS = iota
+	appOutFPS
+	appResDown
+	appJBDrain
+	appTargetDown
+	appOveruse
+	appPushDown
+	appCwndFull
+	appOutstanding
+	appPushNeq
+)
+
+// Offsets of the cell events within a direction's block, in cellEvents
+// order.
+const (
+	cellTBSDown = iota
+	cellRateExceeds
+	cellCross
+	cellChanDegrade
+	cellHARQ
+	cellRLC
+)
+
+func fidAppBase(si int) int  { return si * 10 }
+func fidCellBase(di int) int { return 22 + di*6 }
+
+// featureNames is the canonical name table, built once; featureIndex is
+// its inverse. Both are immutable after init.
+var (
+	featureNames []string
+	featureIndex map[string]int
+)
+
+func init() {
+	featureNames = make([]string, 0, NumFeatures)
 	for _, side := range []string{"local_", "remote_"} {
 		for _, e := range appEvents {
-			out = append(out, side+e)
+			featureNames = append(featureNames, side+e)
 		}
 	}
-	out = append(out, FForwardDelayUp, FReverseDelayUp)
+	featureNames = append(featureNames, FForwardDelayUp, FReverseDelayUp)
 	for _, dir := range []string{"ul_", "dl_"} {
 		for _, e := range cellEvents {
-			out = append(out, dir+e)
+			featureNames = append(featureNames, dir+e)
 		}
 	}
-	out = append(out, FULScheduling, FRRCChange)
+	featureNames = append(featureNames, FULScheduling, FRRCChange)
+	featureIndex = make(map[string]int, len(featureNames))
+	for i, n := range featureNames {
+		featureIndex[n] = i
+	}
+}
+
+// FeatureNames returns the 36 canonical feature names in stable order.
+// The table is computed once; callers receive a copy they may mutate.
+func FeatureNames() []string {
+	return append([]string(nil), featureNames...)
+}
+
+// FeatureID returns the bit index of a canonical feature name and
+// whether the name is one of the 36 features.
+func FeatureID(name string) (int, bool) {
+	i, ok := featureIndex[name]
+	return i, ok
+}
+
+// FeatureBits is a 36-bit set over the canonical features: bit i
+// corresponds to FeatureNames()[i]. The zero value has no features
+// active.
+type FeatureBits uint64
+
+// Has reports whether feature bit i is set.
+func (b FeatureBits) Has(i int) bool { return b&(1<<uint(i)) != 0 }
+
+// Set sets feature bit i.
+func (b *FeatureBits) Set(i int) { *b |= 1 << uint(i) }
+
+// Assign sets or clears feature bit i.
+func (b *FeatureBits) Assign(i int, on bool) {
+	if on {
+		*b |= 1 << uint(i)
+	} else {
+		*b &^= 1 << uint(i)
+	}
+}
+
+// Count returns the number of active features.
+func (b FeatureBits) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// FeatureVector is the per-window detection result: the window bounds
+// plus a fixed 36-bit set over the canonical features. It is a small
+// value type — evaluating a window allocates nothing.
+type FeatureVector struct {
+	Start, End sim.Time
+	Bits       FeatureBits
+}
+
+// Has reports whether the named feature fired in this window. Names
+// outside the canonical 36 (e.g. custom graph nodes that no detector
+// event feeds) are never active.
+func (v FeatureVector) Has(name string) bool {
+	i, ok := featureIndex[name]
+	return ok && v.Bits.Has(i)
+}
+
+// Set records the named feature as active (on) or inactive (off),
+// replacing direct writes to the former Active map. Unknown names are
+// ignored — the detector only ever produces the canonical 36.
+func (v *FeatureVector) Set(name string, on bool) {
+	if i, ok := featureIndex[name]; ok {
+		v.Bits.Assign(i, on)
+	}
+}
+
+// Active returns the set of active features as a name→bool map — the
+// representation FeatureVector used before the bitset rewrite, kept
+// for reporting and codegen interop (GenerateGo's BackwardTrace takes
+// exactly this map).
+func (v FeatureVector) Active() map[string]bool {
+	out := make(map[string]bool, v.Bits.Count())
+	for i, n := range featureNames {
+		if v.Bits.Has(i) {
+			out[n] = true
+		}
+	}
 	return out
 }
 
-// FeatureVector is the per-window detection result.
-type FeatureVector struct {
-	Start, End sim.Time
-	Active     map[string]bool
-}
-
-// Has reports whether the named feature fired in this window.
-func (v FeatureVector) Has(name string) bool { return v.Active[name] }
-
-// indexedTrace holds a trace as binary-searchable per-source series so
-// window evaluation is O(window) instead of O(trace). It is built in
-// one shot from a full Set (batch analysis) or grown record-by-record
-// and pruned from the front (streaming analysis) — evalWindow works
-// identically on both because it only ever reads the [start, end)
-// slice of each series.
-type indexedTrace struct {
-	hasGNBLog bool
-
-	// Media (forward) and RTCP (reverse) delay series, both directions
-	// merged, ordered by send time.
-	fwdAt    []sim.Time
-	fwdDelay []float64 // ms
-	revAt    []sim.Time
-	revDelay []float64
-
-	// Per-direction app send rate accounting: media bytes by send time.
-	appAt    [2][]sim.Time
-	appBytes [2][]int
-
-	// Per-direction DCI-derived series ordered by time.
-	dciAt    [2][]sim.Time
-	dciOwn   [2][]int // own-UE PRBs
-	dciOther [2][]int // other-UE PRBs
-	dciMCS   [2][]int
-	dciTBS   [2][]int  // bits
-	dciHARQ  [2][]bool // HARQ retx flag
-	dciULUse [2][]bool // own transmission
-
-	// RLC retx events (gNB log), per direction.
-	rlcAt [2][]sim.Time
-
-	// RNTI change times.
-	rrcAt []sim.Time
-
-	// Stats per side ordered by time.
-	statsAt [2][]sim.Time
-	stats   [2][]trace.WebRTCStatsRecord
-}
-
-func sideIdx(local bool) int {
-	if local {
-		return 0
+// NewFeatureVector builds a vector from a name→bool assignment,
+// ignoring unknown names. It is the inverse of Active, used by tests
+// and by callers replaying externally computed assignments.
+func NewFeatureVector(active map[string]bool) FeatureVector {
+	var v FeatureVector
+	for n, on := range active {
+		v.Set(n, on)
 	}
-	return 1
-}
-
-func dirIdx(d netem.Direction) int {
-	if d == netem.Uplink {
-		return 0
-	}
-	return 1
-}
-
-// newIndexedTrace builds the index. The set must be sorted.
-func newIndexedTrace(set *trace.Set) *indexedTrace {
-	ix := &indexedTrace{hasGNBLog: set.HasGNBLog}
-	for _, p := range set.Packets {
-		ix.addPacket(p)
-	}
-	for _, r := range set.DCI {
-		ix.addDCI(r)
-	}
-	for _, g := range set.GNBLogs {
-		ix.addGNB(g)
-	}
-	// Batch construction appends DCI-flagged and gNB-logged RLC retx
-	// separately, so the merged series needs a sort; incremental
-	// construction receives records time-merged and stays sorted.
-	for i := range ix.rlcAt {
-		sort.Slice(ix.rlcAt[i], func(a, b int) bool { return ix.rlcAt[i][a] < ix.rlcAt[i][b] })
-	}
-	for _, r := range set.RRC {
-		ix.addRRC(r)
-	}
-	for _, s := range set.Stats {
-		ix.addStats(s)
-	}
-	return ix
-}
-
-func (ix *indexedTrace) addPacket(p trace.PacketRecord) {
-	if p.Kind == netem.KindRTCP {
-		ix.revAt = append(ix.revAt, p.SentAt)
-		ix.revDelay = append(ix.revDelay, p.Delay().Milliseconds())
-		return
-	}
-	if p.Kind == netem.KindCross {
-		return
-	}
-	di := dirIdx(p.Dir)
-	ix.fwdAt = append(ix.fwdAt, p.SentAt)
-	ix.fwdDelay = append(ix.fwdDelay, p.Delay().Milliseconds())
-	ix.appAt[di] = append(ix.appAt[di], p.SentAt)
-	ix.appBytes[di] = append(ix.appBytes[di], p.Size)
-}
-
-func (ix *indexedTrace) addDCI(r trace.DCIRecord) {
-	di := dirIdx(r.Dir)
-	ix.dciAt[di] = append(ix.dciAt[di], r.At)
-	ix.dciOwn[di] = append(ix.dciOwn[di], r.OwnPRB)
-	ix.dciOther[di] = append(ix.dciOther[di], r.OtherPRB)
-	ix.dciMCS[di] = append(ix.dciMCS[di], r.MCS)
-	tbs := 0
-	if r.OwnPRB > 0 {
-		tbs = r.TBSBits
-	}
-	ix.dciTBS[di] = append(ix.dciTBS[di], tbs)
-	ix.dciHARQ[di] = append(ix.dciHARQ[di], r.HARQRetx)
-	ix.dciULUse[di] = append(ix.dciULUse[di], r.OwnPRB > 0)
-	// The DCI RLC-retx annotation is gNB-internal knowledge: only
-	// private cells with base-station logs expose it (the paper's
-	// commercial cells detect no RLC retx for exactly this reason).
-	if r.RLCRetx && ix.hasGNBLog {
-		ix.rlcAt[di] = append(ix.rlcAt[di], r.At)
-	}
-}
-
-func (ix *indexedTrace) addGNB(g trace.GNBLogRecord) {
-	if g.Kind == trace.GNBLogRLCRetx {
-		di := dirIdx(g.Dir)
-		ix.rlcAt[di] = append(ix.rlcAt[di], g.At)
-	}
-}
-
-func (ix *indexedTrace) addRRC(r trace.RRCRecord) {
-	ix.rrcAt = append(ix.rrcAt, r.At)
-}
-
-func (ix *indexedTrace) addStats(s trace.WebRTCStatsRecord) {
-	si := sideIdx(s.Local)
-	ix.statsAt[si] = append(ix.statsAt[si], s.At)
-	ix.stats[si] = append(ix.stats[si], s)
-}
-
-// shift drops the first lo elements of a parallel value series in
-// place (same backing array).
-func shift[T any](s *[]T) func(lo int) {
-	return func(lo int) { n := copy(*s, (*s)[lo:]); *s = (*s)[:n] }
-}
-
-// evictBefore drops every sample with timestamp < cut, compacting each
-// series in place so the backing arrays stay sized to the window
-// high-water mark instead of growing with the trace.
-func (ix *indexedTrace) evictBefore(cut sim.Time) {
-	dropT := func(at []sim.Time, parallel ...func(lo int)) []sim.Time {
-		lo := sort.Search(len(at), func(i int) bool { return at[i] >= cut })
-		if lo == 0 {
-			return at
-		}
-		for _, fn := range parallel {
-			fn(lo)
-		}
-		n := copy(at, at[lo:])
-		return at[:n]
-	}
-	ix.fwdAt = dropT(ix.fwdAt, shift(&ix.fwdDelay))
-	ix.revAt = dropT(ix.revAt, shift(&ix.revDelay))
-	for di := range ix.appAt {
-		ix.appAt[di] = dropT(ix.appAt[di], shift(&ix.appBytes[di]))
-		ix.dciAt[di] = dropT(ix.dciAt[di],
-			shift(&ix.dciOwn[di]), shift(&ix.dciOther[di]), shift(&ix.dciMCS[di]),
-			shift(&ix.dciTBS[di]), shift(&ix.dciHARQ[di]), shift(&ix.dciULUse[di]))
-		ix.rlcAt[di] = dropT(ix.rlcAt[di])
-	}
-	ix.rrcAt = dropT(ix.rrcAt)
-	for si := range ix.statsAt {
-		ix.statsAt[si] = dropT(ix.statsAt[si], shift(&ix.stats[si]))
-	}
-}
-
-// bubbleLast restores sortedness after one sample was appended to a
-// time series, swapping the parallel value arrays alongside. The walk
-// is O(displacement), which a streaming caller bounds by its lateness
-// slack; for in-order input it is a single comparison.
-func bubbleLast(at []sim.Time, swap func(i, j int)) {
-	for i := len(at) - 1; i > 0 && at[i] < at[i-1]; i-- {
-		at[i], at[i-1] = at[i-1], at[i]
-		if swap != nil {
-			swap(i, i-1)
-		}
-	}
-}
-
-// swapIn returns a swap over one parallel value series.
-func swapIn[T any](s []T) func(i, j int) {
-	return func(i, j int) { s[i], s[j] = s[j], s[i] }
-}
-
-// swapAll composes swaps over several parallel value series.
-func swapAll(swaps ...func(i, j int)) func(i, j int) {
-	return func(i, j int) {
-		for _, fn := range swaps {
-			fn(i, j)
-		}
-	}
-}
-
-// restoreOrderPacket re-sorts the tail of the packet-derived series
-// after an out-of-order (but within-lateness) streamed packet.
-func (ix *indexedTrace) restoreOrderPacket(p trace.PacketRecord) {
-	if p.Kind == netem.KindRTCP {
-		bubbleLast(ix.revAt, swapIn(ix.revDelay))
-		return
-	}
-	if p.Kind == netem.KindCross {
-		return
-	}
-	di := dirIdx(p.Dir)
-	bubbleLast(ix.fwdAt, swapIn(ix.fwdDelay))
-	bubbleLast(ix.appAt[di], swapIn(ix.appBytes[di]))
-}
-
-// restoreOrderDCI re-sorts the tail of the DCI-derived series.
-func (ix *indexedTrace) restoreOrderDCI(r trace.DCIRecord) {
-	di := dirIdx(r.Dir)
-	bubbleLast(ix.dciAt[di], swapAll(
-		swapIn(ix.dciOwn[di]), swapIn(ix.dciOther[di]), swapIn(ix.dciMCS[di]),
-		swapIn(ix.dciTBS[di]), swapIn(ix.dciHARQ[di]), swapIn(ix.dciULUse[di])))
-	bubbleLast(ix.rlcAt[di], nil)
-}
-
-// restoreOrderGNB re-sorts the tail of the RLC-retx series.
-func (ix *indexedTrace) restoreOrderGNB(g trace.GNBLogRecord) {
-	if g.Kind == trace.GNBLogRLCRetx {
-		bubbleLast(ix.rlcAt[dirIdx(g.Dir)], nil)
-	}
-}
-
-// restoreOrderRRC re-sorts the tail of the RRC series.
-func (ix *indexedTrace) restoreOrderRRC() { bubbleLast(ix.rrcAt, nil) }
-
-// restoreOrderStats re-sorts the tail of one side's stats series.
-func (ix *indexedTrace) restoreOrderStats(s trace.WebRTCStatsRecord) {
-	si := sideIdx(s.Local)
-	bubbleLast(ix.statsAt[si], swapIn(ix.stats[si]))
-}
-
-// buffered returns the number of samples currently held across all
-// series — the streaming analyzer's O(window) state measure.
-func (ix *indexedTrace) buffered() int {
-	n := len(ix.fwdAt) + len(ix.revAt) + len(ix.rrcAt)
-	for di := range ix.dciAt {
-		n += len(ix.dciAt[di]) + len(ix.rlcAt[di])
-	}
-	for si := range ix.statsAt {
-		n += len(ix.statsAt[si])
-	}
-	return n
-}
-
-// window returns [lo, hi) index bounds of at-values within [start, end).
-func window(at []sim.Time, start, end sim.Time) (int, int) {
-	lo := sort.Search(len(at), func(i int) bool { return at[i] >= start })
-	hi := sort.Search(len(at), func(i int) bool { return at[i] >= end })
-	return lo, hi
+	return v
 }

@@ -25,8 +25,15 @@ type WindowEvaluator struct {
 // NewWindowEvaluator returns an empty evaluator for one session.
 // hasGNBLog gates RLC-retx visibility exactly like trace.Set.HasGNBLog.
 func (a *Analyzer) NewWindowEvaluator(hasGNBLog bool) *WindowEvaluator {
-	return &WindowEvaluator{cfg: a.cfg, ix: &indexedTrace{hasGNBLog: hasGNBLog}}
+	ix := &indexedTrace{cfg: a.cfg, hasGNBLog: hasGNBLog}
+	ix.roll.init(a.cfg)
+	return &WindowEvaluator{cfg: a.cfg, ix: ix}
 }
+
+// Reset empties the evaluator in place for a new session, keeping the
+// allocated series capacity — the recycling path for pooled fleet
+// ingest (see stream.Analyzer.Reset and cmd/dominod).
+func (e *WindowEvaluator) Reset(hasGNBLog bool) { e.ix.reset(hasGNBLog) }
 
 // Observe appends one record's samples to the index. Records should
 // arrive in non-decreasing primary-timestamp order across all sources
@@ -59,10 +66,20 @@ func (e *WindowEvaluator) Observe(rec trace.Record) {
 // window still to be evaluated).
 func (e *WindowEvaluator) EvictBefore(cut sim.Time) { e.ix.evictBefore(cut) }
 
-// Eval computes the feature vector for the window [start, start+W).
-// Every sample in that range must have been Observed and not evicted.
+// Eval computes the feature vector for the window [start, start+W)
+// from the rolling aggregates, at O(samples-in-step) amortized cost.
+// Every sample in the window must have been Observed and not evicted,
+// and starts must be non-decreasing across calls — the access pattern
+// of both analysis drivers.
 func (e *WindowEvaluator) Eval(start sim.Time) FeatureVector {
-	return e.ix.evalWindow(e.cfg, start)
+	return e.ix.evalWindow(start)
+}
+
+// EvalFull computes the same vector by re-aggregating every sample in
+// the window — the retained recompute oracle, free of cross-call
+// state. Differential tests pin Eval ≡ EvalFull across every scenario.
+func (e *WindowEvaluator) EvalFull(start sim.Time) FeatureVector {
+	return e.ix.evalWindowFull(e.cfg, start)
 }
 
 // Buffered returns the number of samples currently held — O(window)
@@ -74,27 +91,67 @@ func (e *WindowEvaluator) Buffered() int { return e.ix.buffered() }
 // Step feeds it one window's feature vector at a time, in order;
 // Finish closes the remaining runs. It is the exact state machine of
 // the batch Analyze loop, exposed for streaming callers.
+//
+// The causal DAG is pre-resolved once per Analyzer into index form
+// (integer node IDs, per-node feature bitmasks, per-chain node-ID
+// lists), so a Step touches no strings and no maps: node activation is
+// one mask test per node against the window's feature bits, and run
+// bookkeeping lives in flat per-node/per-chain arrays reused across
+// steps.
 type Incremental struct {
 	a           *Analyzer
 	rep         *Report
-	openNode    map[string]*EventRun
-	openChain   map[int]*ChainRun
 	keepWindows bool
+
+	// Per-session scratch, sized to the compiled graph and reused
+	// across steps (and across sessions via Reset).
+	active       []bool // per node: active in current window
+	causeMark    []bool // per distinct cause: linked in current window
+	matched      []bool // per chain: fully matched in current window
+	openNode     []EventRun
+	openNodeSet  []bool
+	openChain    []ChainRun
+	openChainSet []bool
 }
 
 // NewIncremental starts an incremental analysis for one session.
 func (a *Analyzer) NewIncremental(cellName string) *Incremental {
-	return &Incremental{
-		a: a,
-		rep: &Report{
-			CellName:    cellName,
-			NodeEvents:  make(map[string][]EventRun),
-			ChainEvents: make(map[int][]ChainRun),
-			chains:      a.chains,
-		},
-		openNode:    make(map[string]*EventRun),
-		openChain:   make(map[int]*ChainRun),
-		keepWindows: true,
+	cg := &a.comp
+	inc := &Incremental{
+		a:            a,
+		keepWindows:  true,
+		active:       make([]bool, len(cg.nodes)),
+		causeMark:    make([]bool, len(cg.causes)),
+		matched:      make([]bool, len(cg.chainNodes)),
+		openNode:     make([]EventRun, len(cg.nodes)),
+		openNodeSet:  make([]bool, len(cg.nodes)),
+		openChain:    make([]ChainRun, len(cg.chainNodes)),
+		openChainSet: make([]bool, len(cg.chainNodes)),
+	}
+	inc.rep = a.newReport(cellName)
+	return inc
+}
+
+// Reset rewinds the Incremental to a fresh session (a new report, no
+// open runs), reusing the compiled-graph scratch — the recycling path
+// for pooled fleet ingest.
+func (inc *Incremental) Reset(cellName string) {
+	inc.rep = inc.a.newReport(cellName)
+	inc.keepWindows = true
+	for i := range inc.openNodeSet {
+		inc.openNodeSet[i] = false
+	}
+	for i := range inc.openChainSet {
+		inc.openChainSet[i] = false
+	}
+}
+
+func (a *Analyzer) newReport(cellName string) *Report {
+	return &Report{
+		CellName:    cellName,
+		NodeEvents:  make(map[string][]EventRun),
+		ChainEvents: make(map[int][]ChainRun),
+		chains:      a.chains,
 	}
 }
 
@@ -112,80 +169,85 @@ func (inc *Incremental) SetScenario(name string) { inc.rep.Scenario = name }
 // returns its WindowResult together with the node and chain runs that
 // closed at this step (in graph-node and chain-ID order respectively).
 func (inc *Incremental) Step(v FeatureVector) (WindowResult, []EventRun, []ChainRun) {
-	a := inc.a
+	cg := &inc.a.comp
 	rep := inc.rep
 	wr := WindowResult{Vector: v}
 
-	nodes := a.graph.Nodes()
-	activeNodes := make(map[string]bool, len(nodes))
-	for _, n := range nodes {
-		if a.graph.NodeActive(n, v) {
-			activeNodes[n] = true
-		}
+	for i, mask := range cg.nodeMask {
+		inc.active[i] = v.Bits&mask != 0
 	}
 
 	// Backward trace: for each active consequence, walk matched
 	// chains back to their causes.
-	causeSet := map[string]bool{}
-	for _, c := range a.chains {
-		matched := true
-		for _, n := range c.Nodes {
-			if !activeNodes[n] {
-				matched = false
+	anyCause := false
+	for ci, nodes := range cg.chainNodes {
+		m := true
+		for _, nid := range nodes {
+			if !inc.active[nid] {
+				m = false
 				break
 			}
 		}
-		if matched {
-			wr.ChainIDs = append(wr.ChainIDs, c.ID)
-			causeSet[c.Cause()] = true
+		inc.matched[ci] = m
+		if m {
+			wr.ChainIDs = append(wr.ChainIDs, ci+1)
+			if !inc.causeMark[cg.chainCauseID[ci]] {
+				inc.causeMark[cg.chainCauseID[ci]] = true
+				anyCause = true
+			}
 		}
 	}
-	for _, n := range a.graph.Consequences() {
-		if activeNodes[n] {
-			wr.Consequences = append(wr.Consequences, n)
+	for _, nid := range cg.consequences {
+		if inc.active[nid] {
+			wr.Consequences = append(wr.Consequences, cg.nodes[nid])
 		}
 	}
-	for cause := range causeSet {
-		wr.Causes = append(wr.Causes, cause)
+	if anyCause {
+		for i, name := range cg.causes {
+			if inc.causeMark[i] {
+				inc.causeMark[i] = false
+				wr.Causes = append(wr.Causes, name)
+			}
+		}
 	}
-	sortStrings(wr.Causes)
 	if inc.keepWindows {
 		rep.Windows = append(rep.Windows, wr)
 	}
 
 	// Update node runs.
 	var closedNodes []EventRun
-	for _, n := range nodes {
-		if activeNodes[n] {
-			if r := inc.openNode[n]; r != nil {
-				r.End = v.End
-				r.Windows++
+	for nid, name := range cg.nodes {
+		if inc.active[nid] {
+			if inc.openNodeSet[nid] {
+				inc.openNode[nid].End = v.End
+				inc.openNode[nid].Windows++
 			} else {
-				inc.openNode[n] = &EventRun{Node: n, Start: v.Start, End: v.End, Windows: 1}
+				inc.openNodeSet[nid] = true
+				inc.openNode[nid] = EventRun{Node: name, Start: v.Start, End: v.End, Windows: 1}
 			}
-		} else if r := inc.openNode[n]; r != nil {
-			rep.NodeEvents[n] = append(rep.NodeEvents[n], *r)
-			closedNodes = append(closedNodes, *r)
-			delete(inc.openNode, n)
+		} else if inc.openNodeSet[nid] {
+			run := inc.openNode[nid]
+			rep.NodeEvents[name] = append(rep.NodeEvents[name], run)
+			closedNodes = append(closedNodes, run)
+			inc.openNodeSet[nid] = false
 		}
 	}
 	// Update chain runs.
 	var closedChains []ChainRun
-	matchedNow := make(map[int]bool, len(wr.ChainIDs))
-	for _, id := range wr.ChainIDs {
-		matchedNow[id] = true
-		if r := inc.openChain[id]; r != nil {
-			r.End = v.End
-			r.Windows++
-		} else {
-			inc.openChain[id] = &ChainRun{Chain: a.chains[id-1], Start: v.Start, End: v.End, Windows: 1}
-		}
-	}
-	for id := 1; id <= len(a.chains); id++ {
-		if r := inc.openChain[id]; r != nil && !matchedNow[id] {
-			rep.ChainEvents[id] = append(rep.ChainEvents[id], *r)
-			closedChains = append(closedChains, *r)
-			delete(inc.openChain, id)
+	for ci := range cg.chainNodes {
+		if inc.matched[ci] {
+			if inc.openChainSet[ci] {
+				inc.openChain[ci].End = v.End
+				inc.openChain[ci].Windows++
+			} else {
+				inc.openChainSet[ci] = true
+				inc.openChain[ci] = ChainRun{Chain: inc.a.chains[ci], Start: v.Start, End: v.End, Windows: 1}
+			}
+		} else if inc.openChainSet[ci] {
+			run := inc.openChain[ci]
+			rep.ChainEvents[ci+1] = append(rep.ChainEvents[ci+1], run)
+			closedChains = append(closedChains, run)
+			inc.openChainSet[ci] = false
 		}
 	}
 	return wr, closedNodes, closedChains
@@ -193,24 +255,27 @@ func (inc *Incremental) Step(v FeatureVector) (WindowResult, []EventRun, []Chain
 
 // Finish closes every run still open, stamps the session duration, and
 // returns the final report plus the runs closed here. The Incremental
-// must not be used afterwards.
+// must not be used afterwards (Reset rewinds it for a new session).
 func (inc *Incremental) Finish(duration sim.Time) (*Report, []EventRun, []ChainRun) {
+	cg := &inc.a.comp
 	rep := inc.rep
 	rep.Duration = duration
 	var closedNodes []EventRun
-	for _, n := range inc.a.graph.Nodes() {
-		if r := inc.openNode[n]; r != nil {
-			rep.NodeEvents[n] = append(rep.NodeEvents[n], *r)
-			closedNodes = append(closedNodes, *r)
-			delete(inc.openNode, n)
+	for nid, name := range cg.nodes {
+		if inc.openNodeSet[nid] {
+			run := inc.openNode[nid]
+			rep.NodeEvents[name] = append(rep.NodeEvents[name], run)
+			closedNodes = append(closedNodes, run)
+			inc.openNodeSet[nid] = false
 		}
 	}
 	var closedChains []ChainRun
-	for id := 1; id <= len(inc.a.chains); id++ {
-		if r := inc.openChain[id]; r != nil {
-			rep.ChainEvents[id] = append(rep.ChainEvents[id], *r)
-			closedChains = append(closedChains, *r)
-			delete(inc.openChain, id)
+	for ci := range cg.chainNodes {
+		if inc.openChainSet[ci] {
+			run := inc.openChain[ci]
+			rep.ChainEvents[ci+1] = append(rep.ChainEvents[ci+1], run)
+			closedChains = append(closedChains, run)
+			inc.openChainSet[ci] = false
 		}
 	}
 	return rep, closedNodes, closedChains
@@ -220,6 +285,7 @@ func (inc *Incremental) Finish(duration sim.Time) (*Report, []EventRun, []ChainR
 // open treated as closed now, for live inspection of an unfinished
 // session. The Incremental remains usable.
 func (inc *Incremental) Snapshot(asOf sim.Time) *Report {
+	cg := &inc.a.comp
 	rep := inc.rep
 	cp := &Report{
 		CellName:    rep.CellName,
@@ -236,11 +302,15 @@ func (inc *Incremental) Snapshot(asOf sim.Time) *Report {
 	for id, runs := range rep.ChainEvents {
 		cp.ChainEvents[id] = append([]ChainRun(nil), runs...)
 	}
-	for n, r := range inc.openNode {
-		cp.NodeEvents[n] = append(cp.NodeEvents[n], *r)
+	for nid, name := range cg.nodes {
+		if inc.openNodeSet[nid] {
+			cp.NodeEvents[name] = append(cp.NodeEvents[name], inc.openNode[nid])
+		}
 	}
-	for id, r := range inc.openChain {
-		cp.ChainEvents[id] = append(cp.ChainEvents[id], *r)
+	for ci := range cg.chainNodes {
+		if inc.openChainSet[ci] {
+			cp.ChainEvents[ci+1] = append(cp.ChainEvents[ci+1], inc.openChain[ci])
+		}
 	}
 	return cp
 }

@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/scenario"
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+// TestRollingEvalMatchesOracle is the rolling engine's differential
+// pin: for every registered scenario, a WindowEvaluator driven exactly
+// like the streaming analyzer drives it (observe, evict to the window
+// start, evaluate monotonically advancing windows) must produce a
+// feature vector byte-identical to the retained full-recompute oracle
+// at every window position. One evaluator is recycled across scenarios
+// via Reset, so the pooled-reuse path is pinned against the oracle
+// too.
+func TestRollingEvalMatchesOracle(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := analyzer.Config()
+	const dur = 12 * sim.Second
+	var eval *core.WindowEvaluator
+	for i, name := range scenario.Names() {
+		name := name
+		seed := uint64(17 + i)
+		t.Run(name, func(t *testing.T) {
+			sc, err := scenario.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := sc.Build(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := sess.Run(dur)
+			if eval == nil {
+				eval = analyzer.NewWindowEvaluator(set.HasGNBLog)
+			} else {
+				eval.Reset(set.HasGNBLog)
+			}
+			// Stream the set through the wire format so the evaluator
+			// sees the time-merged record order a live session delivers.
+			var buf bytes.Buffer
+			if err := trace.WriteJSONL(&buf, set); err != nil {
+				t.Fatal(err)
+			}
+			sr := trace.NewStreamReader(&buf)
+			for {
+				rec, err := sr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				eval.Observe(rec)
+			}
+			end := set.Duration - cfg.Window
+			for start := sim.Time(0); start <= end; start += cfg.Step {
+				eval.EvictBefore(start)
+				got := eval.Eval(start)
+				want := eval.EvalFull(start)
+				if got != want {
+					t.Fatalf("window [%v, %v) diverged:\nrolling: %v\noracle:  %v",
+						start, start+cfg.Window, got.Active(), want.Active())
+				}
+			}
+		})
+	}
+}
+
+// TestRollingEvalCustomGeometry pins the rolling engine against the
+// oracle under a non-default geometry that breaks the bucket alignment
+// of the cached bin events (step not a multiple of the 100 ms rate bin
+// or the 50 ms MCS group), forcing the full-recompute fallbacks, and
+// under a shorter window with a coarser trend group.
+func TestRollingEvalCustomGeometry(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  core.DetectorConfig
+	}{
+		{"unaligned-step", core.DetectorConfig{Window: 3 * sim.Second, Step: 330 * sim.Millisecond}},
+		{"short-window", core.DetectorConfig{Window: 1500 * sim.Millisecond, Step: 250 * sim.Millisecond, TrendGroup: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			analyzer, err := core.NewAnalyzer(tc.cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := analyzer.Config()
+			sc, err := scenario.ByName("worst-case-combined")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := sc.Build(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := sess.Run(10 * sim.Second)
+			eval := analyzer.NewWindowEvaluator(set.HasGNBLog)
+			var buf bytes.Buffer
+			if err := trace.WriteJSONL(&buf, set); err != nil {
+				t.Fatal(err)
+			}
+			sr := trace.NewStreamReader(&buf)
+			for {
+				rec, err := sr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				eval.Observe(rec)
+			}
+			end := set.Duration - cfg.Window
+			for start := sim.Time(0); start <= end; start += cfg.Step {
+				eval.EvictBefore(start)
+				got := eval.Eval(start)
+				want := eval.EvalFull(start)
+				if got != want {
+					t.Fatalf("window [%v, %v) diverged:\nrolling: %v\noracle:  %v",
+						start, start+cfg.Window, got.Active(), want.Active())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// This file holds the cursor-fed half of the rolling window engine:
+// monotonic min/max deques for the argmax-before-argmin events and
+// per-time-bucket caches for the bin-shaped events. Per-series cursors
+// consume samples as window ends advance (so every structure covers
+// exactly the samples with timestamp below the last evaluated window
+// end), and retire drops entries that slid out of the window start.
+// Everything here is allocation-free at steady state: deques and
+// bucket rings reuse their backing arrays, and completed MCS buckets
+// recycle their sample slices through a free list.
+
+// rollState carries the cursors and cursor-fed aggregates of one
+// indexedTrace.
+type rollState struct {
+	lastEnd sim.Time
+
+	statsCur [2]int
+	dciCur   [2]int
+	appCur   [2]int
+
+	// Per-series consume sequence numbers: a stable stand-in for the
+	// sample index that survives eviction/compaction, used to order
+	// argmax against argmin.
+	statsSeq [2]int64
+	dciSeq   [2]int64
+
+	inFPSMax, inFPSMin   [2]extrema
+	outFPSMax, outFPSMin [2]extrema
+	tbsMax, tbsMin       [2]extrema
+
+	mcs     [2]mcsBuckets
+	rateApp [2]binSums
+	rateTBS [2]binSums
+}
+
+// init wires the bucket widths from the (normalized) detector config
+// and flips the min deques into min mode.
+func (r *rollState) init(cfg DetectorConfig) {
+	for i := 0; i < 2; i++ {
+		r.inFPSMin[i].isMin = true
+		r.outFPSMin[i].isMin = true
+		r.tbsMin[i].isMin = true
+		r.mcs[i].width = cfg.MCSGroup
+		r.rateApp[i].width = cfg.RateBin
+		r.rateTBS[i].width = cfg.RateBin
+	}
+}
+
+// reset empties every rolling structure in place, keeping capacity.
+func (r *rollState) reset() {
+	r.lastEnd = 0
+	for i := 0; i < 2; i++ {
+		r.statsCur[i], r.dciCur[i], r.appCur[i] = 0, 0, 0
+		r.statsSeq[i], r.dciSeq[i] = 0, 0
+		r.inFPSMax[i].clear()
+		r.inFPSMin[i].clear()
+		r.outFPSMax[i].clear()
+		r.outFPSMin[i].clear()
+		r.tbsMax[i].clear()
+		r.tbsMin[i].clear()
+		r.mcs[i].clear()
+		r.rateApp[i].clear()
+		r.rateTBS[i].clear()
+	}
+}
+
+// advance consumes every sample with timestamp < end into the rolling
+// structures. end must be non-decreasing across calls.
+func (ix *indexedTrace) advanceRoll(end sim.Time) {
+	r := &ix.roll
+	if end <= r.lastEnd {
+		return
+	}
+	for si := 0; si < 2; si++ {
+		at := ix.statsAt[si]
+		cur := r.statsCur[si]
+		for cur < len(at) && at[cur] < end {
+			rec := &ix.stats[si][cur]
+			seq := r.statsSeq[si]
+			r.statsSeq[si]++
+			r.inFPSMax[si].push(at[cur], seq, rec.InboundFPS)
+			r.inFPSMin[si].push(at[cur], seq, rec.InboundFPS)
+			r.outFPSMax[si].push(at[cur], seq, rec.OutboundFPS)
+			r.outFPSMin[si].push(at[cur], seq, rec.OutboundFPS)
+			cur++
+		}
+		r.statsCur[si] = cur
+	}
+	for di := 0; di < 2; di++ {
+		at := ix.dciAt[di]
+		cur := r.dciCur[di]
+		for cur < len(at) && at[cur] < end {
+			seq := r.dciSeq[di]
+			r.dciSeq[di]++
+			if tbs := ix.dciTBS[di][cur]; tbs > 0 {
+				v := float64(tbs)
+				r.tbsMax[di].push(at[cur], seq, v)
+				r.tbsMin[di].push(at[cur], seq, v)
+				r.rateTBS[di].add(at[cur], v)
+			}
+			if ix.dciOwn[di][cur] > 0 {
+				r.mcs[di].add(at[cur], float64(ix.dciMCS[di][cur]))
+			}
+			cur++
+		}
+		r.dciCur[di] = cur
+
+		at = ix.appAt[di]
+		cur = r.appCur[di]
+		for cur < len(at) && at[cur] < end {
+			r.rateApp[di].add(at[cur], float64(ix.appBytes[di][cur]*8))
+			cur++
+		}
+		r.appCur[di] = cur
+	}
+	r.lastEnd = end
+}
+
+// retire drops rolling entries that precede the window start.
+func (ix *indexedTrace) retireRoll(start sim.Time) {
+	r := &ix.roll
+	for i := 0; i < 2; i++ {
+		r.inFPSMax[i].retire(start)
+		r.inFPSMin[i].retire(start)
+		r.outFPSMax[i].retire(start)
+		r.outFPSMin[i].retire(start)
+		r.tbsMax[i].retire(start)
+		r.tbsMin[i].retire(start)
+		r.mcs[i].retire(start)
+		r.rateApp[i].retire(start)
+		r.rateTBS[i].retire(start)
+	}
+}
+
+// extrema is a monotonic deque tracking the window maximum (or, with
+// isMin, minimum) of one series, preserving the earliest attaining
+// sample so argmax-before-argmin conditions evaluate exactly as a full
+// scan would. Entries live in at/seq/val[head:]; the dead prefix is
+// compacted away once it dominates the backing array.
+type extrema struct {
+	at    []sim.Time
+	seq   []int64
+	val   []float64
+	head  int
+	isMin bool
+}
+
+func (d *extrema) push(at sim.Time, seq int64, v float64) {
+	n := len(d.val)
+	for n > d.head {
+		last := d.val[n-1]
+		if (d.isMin && last > v) || (!d.isMin && last < v) {
+			n--
+			continue
+		}
+		break
+	}
+	d.at = append(d.at[:n], at)
+	d.seq = append(d.seq[:n], seq)
+	d.val = append(d.val[:n], v)
+}
+
+func (d *extrema) retire(cut sim.Time) {
+	for d.head < len(d.at) && d.at[d.head] < cut {
+		d.head++
+	}
+	if d.head > 32 && d.head*2 >= len(d.at) {
+		n := copy(d.at, d.at[d.head:])
+		copy(d.seq, d.seq[d.head:])
+		copy(d.val, d.val[d.head:])
+		d.at, d.seq, d.val = d.at[:n], d.seq[:n], d.val[:n]
+		d.head = 0
+	}
+}
+
+func (d *extrema) empty() bool { return d.head >= len(d.at) }
+
+// front returns the consume sequence and value of the window extremum.
+func (d *extrema) front() (int64, float64) { return d.seq[d.head], d.val[d.head] }
+
+func (d *extrema) clear() {
+	d.at, d.seq, d.val = d.at[:0], d.seq[:0], d.val[:0]
+	d.head = 0
+}
+
+// binSums accumulates a value sum per fixed-width absolute time bucket
+// (bucket b covers [b*width, (b+1)*width)). Live buckets are
+// sums[head:], with base the bucket index of sums[head].
+type binSums struct {
+	width sim.Time
+	base  int64
+	sums  []float64
+	head  int
+}
+
+func (b *binSums) add(at sim.Time, v float64) {
+	idx := int64(at / b.width)
+	if b.head == len(b.sums) {
+		b.base = idx
+	}
+	for idx >= b.base+int64(len(b.sums)-b.head) {
+		b.sums = append(b.sums, 0)
+	}
+	b.sums[b.head+int(idx-b.base)] += v
+}
+
+// get returns the sum for absolute bucket idx (0 when out of range).
+func (b *binSums) get(idx int64) float64 {
+	if b.head == len(b.sums) || idx < b.base || idx >= b.base+int64(len(b.sums)-b.head) {
+		return 0
+	}
+	return b.sums[b.head+int(idx-b.base)]
+}
+
+func (b *binSums) retire(cut sim.Time) {
+	for b.head < len(b.sums) && (b.base+1)*int64(b.width) <= int64(cut) {
+		b.head++
+		b.base++
+	}
+	if b.head > 32 && b.head*2 >= len(b.sums) {
+		n := copy(b.sums, b.sums[b.head:])
+		b.sums = b.sums[:n]
+		b.head = 0
+	}
+}
+
+func (b *binSums) clear() {
+	b.sums = b.sums[:0]
+	b.head = 0
+	b.base = 0
+}
+
+// mcsBuckets caches per-bucket MCS samples (own-allocation slots only)
+// and their medians: a bucket's median is computed once, when a window
+// evaluation first reads the completed bucket, by sorting its samples
+// in place. Sample slices of retired buckets are recycled.
+type mcsBuckets struct {
+	width   sim.Time
+	base    int64
+	buckets []mcsBucket
+	head    int
+	free    [][]float64
+}
+
+type mcsBucket struct {
+	vals   []float64
+	median float64
+	sorted bool
+}
+
+func (m *mcsBuckets) add(at sim.Time, v float64) {
+	idx := int64(at / m.width)
+	if m.head == len(m.buckets) {
+		m.base = idx
+	}
+	for idx >= m.base+int64(len(m.buckets)-m.head) {
+		var vals []float64
+		if n := len(m.free); n > 0 {
+			vals = m.free[n-1]
+			m.free = m.free[:n-1]
+		}
+		m.buckets = append(m.buckets, mcsBucket{vals: vals})
+	}
+	b := &m.buckets[m.head+int(idx-m.base)]
+	b.vals = append(b.vals, v)
+}
+
+// median returns the cached median and sample count for absolute
+// bucket idx; count 0 means the bucket is empty or out of range. The
+// bucket must be complete (every sample with a timestamp inside it
+// already consumed), which holds for any bucket below the last
+// advanced window end.
+func (m *mcsBuckets) median(idx int64) (float64, int) {
+	if m.head == len(m.buckets) || idx < m.base || idx >= m.base+int64(len(m.buckets)-m.head) {
+		return 0, 0
+	}
+	b := &m.buckets[m.head+int(idx-m.base)]
+	if len(b.vals) == 0 {
+		return 0, 0
+	}
+	if !b.sorted {
+		sort.Float64s(b.vals)
+		b.median = b.vals[int(0.5*float64(len(b.vals)-1))]
+		b.sorted = true
+	}
+	return b.median, len(b.vals)
+}
+
+func (m *mcsBuckets) retire(cut sim.Time) {
+	for m.head < len(m.buckets) && (m.base+1)*int64(m.width) <= int64(cut) {
+		b := &m.buckets[m.head]
+		if b.vals != nil {
+			m.free = append(m.free, b.vals[:0])
+		}
+		*b = mcsBucket{}
+		m.head++
+		m.base++
+	}
+	if m.head > 16 && m.head*2 >= len(m.buckets) {
+		n := copy(m.buckets, m.buckets[m.head:])
+		for i := n; i < len(m.buckets); i++ {
+			m.buckets[i] = mcsBucket{}
+		}
+		m.buckets = m.buckets[:n]
+		m.head = 0
+	}
+}
+
+func (m *mcsBuckets) clear() {
+	for i := range m.buckets {
+		if vals := m.buckets[i].vals; vals != nil {
+			m.free = append(m.free, vals[:0])
+		}
+		m.buckets[i] = mcsBucket{}
+	}
+	m.buckets = m.buckets[:0]
+	m.head = 0
+	m.base = 0
+}

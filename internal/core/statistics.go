@@ -10,7 +10,19 @@ import (
 // to several causes (columns can sum past 100%), or to none — the
 // "Unknown" column.
 func (r *Report) ConditionalProbabilities(causes, consequences []string) map[string]map[string]float64 {
+	// Consequence→chain-ID index, built once per call (the chain table
+	// is tiny) so attribution iterates only the consequence's own
+	// chains instead of scanning every chain's runs per event. Built
+	// locally — Report methods stay read-only and safe to share.
+	idx := make(map[string][]int, 4)
+	for _, c := range r.chains {
+		idx[c.Consequence()] = append(idx[c.Consequence()], c.ID)
+	}
 	out := make(map[string]map[string]float64, len(consequences))
+	// countedAt[cause] records the (1-based) event index the cause was
+	// last attributed to, replacing the map the old causesDuring
+	// allocated per event run.
+	countedAt := make(map[string]int, 8)
 	for _, cons := range consequences {
 		row := make(map[string]float64, len(causes)+1)
 		events := r.NodeEvents[cons]
@@ -24,14 +36,26 @@ func (r *Report) ConditionalProbabilities(causes, consequences []string) map[str
 		}
 		counts := make(map[string]int, len(causes))
 		unknown := 0
-		for _, ev := range events {
-			attributed := r.causesDuring(cons, ev)
-			if len(attributed) == 0 {
-				unknown++
-				continue
+		clear(countedAt)
+		for evi, ev := range events {
+			attributed := false
+			for _, id := range idx[cons] {
+				cause := r.chains[id-1].Cause()
+				if countedAt[cause] == evi+1 {
+					attributed = true
+					continue
+				}
+				for _, cr := range r.ChainEvents[id] {
+					if cr.Start < ev.End && cr.End > ev.Start {
+						countedAt[cause] = evi + 1
+						counts[cause]++
+						attributed = true
+						break
+					}
+				}
 			}
-			for c := range attributed {
-				counts[c]++
+			if !attributed {
+				unknown++
 			}
 		}
 		for _, c := range causes {
@@ -39,25 +63,6 @@ func (r *Report) ConditionalProbabilities(causes, consequences []string) map[str
 		}
 		row["unknown"] = float64(unknown) / float64(len(events))
 		out[cons] = row
-	}
-	return out
-}
-
-// causesDuring returns the causes chained to the given consequence in
-// any chain run overlapping the event run.
-func (r *Report) causesDuring(consequence string, ev EventRun) map[string]bool {
-	out := map[string]bool{}
-	for id, runs := range r.ChainEvents {
-		chain := r.chains[id-1]
-		if chain.Consequence() != consequence {
-			continue
-		}
-		for _, cr := range runs {
-			if cr.Start < ev.End && cr.End > ev.Start {
-				out[chain.Cause()] = true
-				break
-			}
-		}
 	}
 	return out
 }

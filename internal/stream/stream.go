@@ -109,6 +109,19 @@ func New(a *core.Analyzer, cfg Config) *Analyzer {
 	return &Analyzer{core: a, cfg: cfg, window: dc.Window, step: dc.Step}
 }
 
+// Reset rewinds the analyzer to its pre-header state so it can ingest
+// a new session, recycling the window evaluator's series arrays and
+// the incremental engine's scratch instead of reallocating them. This
+// is the fleet-ingest fast path: cmd/dominod keeps closed analyzers in
+// a sync.Pool and Resets them per session, so steady-state ingest
+// allocates only the report it returns.
+func (s *Analyzer) Reset() {
+	s.hdr = nil
+	s.nextStart = 0
+	s.stats = Stats{}
+	s.closed = false
+}
+
 // Header returns the stream's header once it has been pushed.
 func (s *Analyzer) Header() (trace.Header, bool) {
 	if s.hdr == nil {
@@ -147,8 +160,13 @@ func (s *Analyzer) Push(rec trace.Record) error {
 		}
 		h := *rec.Header
 		s.hdr = &h
-		s.eval = s.core.NewWindowEvaluator(h.HasGNBLog)
-		s.inc = s.core.NewIncremental(h.CellName)
+		if s.eval != nil {
+			s.eval.Reset(h.HasGNBLog)
+			s.inc.Reset(h.CellName)
+		} else {
+			s.eval = s.core.NewWindowEvaluator(h.HasGNBLog)
+			s.inc = s.core.NewIncremental(h.CellName)
+		}
 		s.inc.SetScenario(h.Scenario)
 		if s.cfg.DropWindows {
 			s.inc.SetKeepWindows(false)
@@ -236,9 +254,10 @@ func (s *Analyzer) emit(wr core.WindowResult, nodes []core.EventRun, chains []co
 
 // Snapshot returns a live report of the session so far, with open runs
 // treated as closed at the watermark. It returns nil before the header
-// has arrived.
+// has arrived (including on a Reset analyzer whose recycled engine is
+// waiting for its next session's header).
 func (s *Analyzer) Snapshot() *core.Report {
-	if s.inc == nil {
+	if s.hdr == nil || s.inc == nil {
 		return nil
 	}
 	asOf := s.stats.Watermark

@@ -10,6 +10,7 @@ import (
 	"github.com/domino5g/domino/internal/core"
 	"github.com/domino5g/domino/internal/ran"
 	"github.com/domino5g/domino/internal/rtc"
+	"github.com/domino5g/domino/internal/scenario"
 	"github.com/domino5g/domino/internal/sim"
 	"github.com/domino5g/domino/internal/trace"
 )
@@ -122,6 +123,51 @@ func TestDifferentialAllPresets(t *testing.T) {
 			if stats.Windows != len(batch.Windows) {
 				t.Fatalf("evaluated %d windows, batch has %d", stats.Windows, len(batch.Windows))
 			}
+		})
+	}
+}
+
+// TestDifferentialAllScenarios extends the stream≡batch pin to the
+// full scenario catalog: every registered scenario (the four Table 1
+// presets plus the ten degradation scenarios) must produce identical
+// windows, node events, and chain runs through both paths. One
+// streaming analyzer is recycled across scenarios via Reset, pinning
+// the pooled fleet-ingest path against the same oracle.
+func TestDifferentialAllScenarios(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dur = 12 * sim.Second
+	s := New(analyzer, Config{})
+	for i, name := range scenario.Names() {
+		name := name
+		seed := uint64(61 + i)
+		t.Run(name, func(t *testing.T) {
+			sc, err := scenario.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := sc.Build(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := sess.Run(dur)
+			batch, err := analyzer.Analyze(set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Reset()
+			for _, rec := range records(t, set) {
+				if err := s.Push(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rep, err := s.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffReports(t, batch, rep)
 		})
 	}
 }
@@ -381,6 +427,44 @@ func TestLateRecords(t *testing.T) {
 				batch.NodeEvents["rrc_state_change"], rep.NodeEvents["rrc_state_change"])
 		}
 	})
+}
+
+// TestSnapshotAfterReset pins the pooled-analyzer edge: a Reset
+// analyzer that has not yet seen its next session's header must report
+// no snapshot (not panic on the recycled engine state).
+func TestSnapshotAfterReset(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(analyzer, Config{})
+	if err := s.Push(testHeader()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(rrcAt(6 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if snap := s.Snapshot(); snap != nil {
+		t.Fatalf("snapshot before the recycled session's header: %+v", snap)
+	}
+	// The recycled analyzer must still work for the next session.
+	if err := s.Push(testHeader()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(rrcAt(6 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.NodeEvents["rrc_state_change"]) == 0 {
+		t.Fatal("recycled analyzer dropped the detection")
+	}
 }
 
 // TestSnapshotMidStream checks that a live snapshot halfway through the
