@@ -8,15 +8,16 @@ GO ?= go
 # evaluator and compiled-DAG step microbenchmarks, and per-scenario
 # trace-generation throughput (root package), plus the event-scheduler
 # and JSONL-codec microbenchmarks (internal/sim, internal/trace) and
-# the fleet ingest benchmark (cmd/dominod). Every benchmark processes
+# the fleet ingest benchmark (cmd/dominod) and the RCA-store insert and
+# query benchmarks (internal/rcastore). Every benchmark processes
 # a sizable batch per iteration, and the gate runs -count=5 with
 # benchjson keeping the best of the repeats — on shared hardware
 # interference only makes numbers worse, so best-of-5 is the stable
 # estimate to gate on.
-BENCH_GATE_PATTERN = BenchmarkStreamAnalyzer|BenchmarkScenarioTraceGen|BenchmarkEngine|BenchmarkCodec|BenchmarkWindowEval|BenchmarkIncrementalStep|BenchmarkDominodIngest
-BENCH_GATE_PKGS = . ./internal/sim ./internal/trace ./cmd/dominod
+BENCH_GATE_PATTERN = BenchmarkStreamAnalyzer|BenchmarkScenarioTraceGen|BenchmarkEngine|BenchmarkCodec|BenchmarkWindowEval|BenchmarkIncrementalStep|BenchmarkDominodIngest|BenchmarkRCAStore
+BENCH_GATE_PKGS = . ./internal/sim ./internal/trace ./cmd/dominod ./internal/rcastore
 
-.PHONY: build vet fmt fmt-check test bench bench-json bench-diff dominod-smoke ci
+.PHONY: build vet fmt fmt-check test bench bench-json bench-diff dominod-smoke doclint mdcheck examples-check ci
 
 build:
 	$(GO) build ./...
@@ -68,4 +69,21 @@ bench-diff:
 dominod-smoke:
 	$(GO) test ./cmd/dominod -run 'TestDominodSmoke' -count=1 -v
 
-ci: build vet fmt-check test bench bench-diff dominod-smoke
+# Documentation gates — CI fails on doc drift like it fails on tests.
+# doclint: every package needs a package comment; every exported façade
+# symbol (root package) needs a doc comment. mdcheck: relative links in
+# the top-level docs must resolve.
+doclint:
+	$(GO) run ./cmd/doclint -symbols .
+	$(GO) run ./cmd/doclint ./internal/... ./cmd/...
+
+mdcheck:
+	$(GO) run ./cmd/mdcheck README.md ARCHITECTURE.md ROADMAP.md
+
+# Build and vet the documented examples by name: a façade change that
+# breaks one then fails a step that says "examples", not a wildcard.
+examples-check:
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
+
+ci: build vet fmt-check test bench bench-diff dominod-smoke doclint mdcheck examples-check

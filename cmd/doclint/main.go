@@ -1,0 +1,213 @@
+// Command doclint gates godoc coverage in CI. It walks Go package
+// directories and reports two classes of missing documentation:
+//
+//   - every package must carry a package comment (doc-mode, the
+//     default), and
+//   - with -symbols, every exported top-level symbol must carry a doc
+//     comment — the bar the public façade is held to.
+//
+// Patterns ending in /... recurse. Test files are exempt. Exit status
+// is 1 when anything is undocumented, so the Makefile target fails the
+// build:
+//
+//	doclint -symbols .
+//	doclint ./internal/... ./cmd/...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("doclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	symbols := fs.Bool("symbols", false, "also require a doc comment on every exported top-level symbol")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "doclint: no package patterns given (e.g. ./internal/...)")
+		return 2
+	}
+	dirs, err := expand(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "doclint:", err)
+		return 2
+	}
+	problems := 0
+	for _, dir := range dirs {
+		issues, err := lintDir(dir, *symbols)
+		if err != nil {
+			fmt.Fprintln(stderr, "doclint:", err)
+			return 2
+		}
+		for _, msg := range issues {
+			fmt.Fprintln(stdout, msg)
+			problems++
+		}
+	}
+	if problems > 0 {
+		fmt.Fprintf(stdout, "doclint: %d undocumented\n", problems)
+		return 1
+	}
+	return 0
+}
+
+// expand resolves patterns into the sorted set of directories that
+// contain non-test Go files; "dir/..." walks recursively.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) error {
+		ok, err := hasGoFiles(dir)
+		if err != nil || !ok || seen[dir] {
+			return err
+		}
+		seen[dir] = true
+		dirs = append(dirs, dir)
+		return nil
+	}
+	for _, pat := range patterns {
+		root, recurse := strings.CutSuffix(pat, "/...")
+		root = filepath.Clean(root)
+		if !recurse {
+			if err := add(root); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			if name := d.Name(); path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return add(path)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// lintDir parses one package directory and returns its documentation
+// gaps as "path: message" lines.
+func lintDir(dir string, symbols bool) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var issues []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			issues = append(issues, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		if !symbols {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				issues = append(issues, undocumented(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(issues)
+	return issues, nil
+}
+
+// undocumented reports the exported names a top-level declaration
+// exposes without a doc comment. A group doc on a parenthesized
+// const/var/type block covers its specs; a doc on the individual spec
+// also counts.
+func undocumented(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	bad := func(pos token.Pos, kind, name string) {
+		out = append(out, fmt.Sprintf("%s: exported %s %s has no doc comment", fset.Position(pos), kind, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil && (d.Recv == nil || exportedRecv(d.Recv)) {
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			bad(d.Pos(), kind, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					bad(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						bad(n.Pos(), "value", n.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether a method's receiver type is exported —
+// methods on unexported types are not part of the documented surface.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePkg(t *testing.T, dir string, files map[string]string) string {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func lint(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return out.String() + errOut.String(), code
+}
+
+func TestPackageDocRequired(t *testing.T) {
+	root := t.TempDir()
+	writePkg(t, filepath.Join(root, "good"), map[string]string{
+		"a.go": "// Package good is documented.\npackage good\n",
+	})
+	writePkg(t, filepath.Join(root, "bad"), map[string]string{
+		"a.go": "package bad\n",
+	})
+	out, code := lint(t, root+"/...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "package bad has no package comment") || strings.Contains(out, "good") {
+		t.Fatalf("wrong findings:\n%s", out)
+	}
+	out, code = lint(t, filepath.Join(root, "good"))
+	if code != 0 {
+		t.Fatalf("documented package flagged (exit %d):\n%s", code, out)
+	}
+}
+
+func TestSymbolsMode(t *testing.T) {
+	dir := writePkg(t, filepath.Join(t.TempDir(), "api"), map[string]string{
+		"api.go": `// Package api is documented.
+package api
+
+// Documented is fine.
+func Documented() {}
+
+func Naked() {}
+
+func unexported() {}
+
+// Grouped docs cover every spec in the block.
+const (
+	A = 1
+	B = 2
+)
+
+type Bare struct{}
+
+// T is documented; its undocumented method on an exported type counts,
+// methods on unexported types do not.
+type T struct{}
+
+func (T) Method() {}
+
+type hidden struct{}
+
+func (hidden) Loud() {}
+`,
+	})
+	out, code := lint(t, "-symbols", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	for _, want := range []string{"function Naked", "type Bare", "method Method", "3 undocumented"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing finding %q:\n%s", want, out)
+		}
+	}
+	for _, banned := range []string{"Documented", "unexported", "value A", "value B", "Loud"} {
+		if strings.Contains(out, banned) {
+			t.Fatalf("false positive %q:\n%s", banned, out)
+		}
+	}
+}
+
+func TestTestFilesExemptAndBadArgs(t *testing.T) {
+	dir := writePkg(t, filepath.Join(t.TempDir(), "p"), map[string]string{
+		"a.go":      "// Package p is documented.\npackage p\n",
+		"a_test.go": "package p\n\nfunc Helper() {}\n",
+	})
+	if out, code := lint(t, "-symbols", dir); code != 0 {
+		t.Fatalf("test file symbols flagged (exit %d):\n%s", code, out)
+	}
+	if _, code := lint(t); code != 2 {
+		t.Fatalf("no patterns: exit %d, want 2", code)
+	}
+	if _, code := lint(t, filepath.Join(dir, "missing")); code != 2 {
+		t.Fatalf("missing dir: exit %d, want 2", code)
+	}
+}

@@ -16,6 +16,8 @@
 //	POST /ingest?session=ID   chunked JSONL body; analyzed as it arrives
 //	GET  /sessions            all sessions with live summary stats
 //	GET  /report/{id}         full report (live snapshot while active)
+//	GET  /query               longitudinal RCA-store queries (see below)
+//	GET  /incidents/similar   nearest prior incidents by fired-node signature
 //	GET  /metrics             aggregate counters, Prometheus text format
 //	GET  /healthz             readiness probe
 //
@@ -27,6 +29,24 @@
 // -stdin the service analyzes a single session from standard input and
 // prints the final report, mirroring cmd/domino but via the streaming
 // path.
+//
+// Every completed session's report is also collapsed into the embedded
+// fleet RCA store (internal/rcastore), so diagnosis survives session
+// eviction and the service answers longitudinal queries:
+//
+//	GET /query?last=1h&agg=top_chains&k=5          top causal chains fleet-wide
+//	GET /query?cell=tdd&cause=ul_scheduling        matching session records
+//	GET /query?agg=cause_rates&bucket=10m          per-cell cause rates over time
+//	GET /incidents/similar?session=s0042&k=3       prior incidents most like s0042
+//
+// /query accepts from/to (microsecond timestamps) or last (a duration
+// back from now), cell, scenario, cause, fired (comma-separated node
+// list, all required), session, and limit; agg selects top_chains
+// (with k) or cause_rates (with bucket) instead of raw records.
+// /incidents/similar probes by an existing session's signature
+// (session=) or an explicit fired= node list. Store retention is
+// bounded by -store-blocks; -store-spill FILE reloads history at boot
+// and spills it back on shutdown.
 package main
 
 import (
@@ -40,6 +60,8 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -48,6 +70,7 @@ import (
 	"github.com/domino5g/domino"
 	"github.com/domino5g/domino/internal/core"
 	"github.com/domino5g/domino/internal/parallel"
+	"github.com/domino5g/domino/internal/rcastore"
 	"github.com/domino5g/domino/internal/sim"
 	"github.com/domino5g/domino/internal/stream"
 	"github.com/domino5g/domino/internal/trace"
@@ -66,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxSessions := fs.Int("max-sessions", 1024, "retained sessions before the oldest finished ones are evicted")
 	lateness := fs.Duration("lateness", 0, "accepted record out-of-orderness (e.g. 100ms)")
 	dropLate := fs.Bool("drop-late", false, "count and drop too-late records instead of failing the stream")
+	storeBlocks := fs.Int("store-blocks", 4096, "retained RCA-store blocks of 256 reports each (0 = unbounded)")
+	storeSpill := fs.String("store-spill", "", "RCA-store spill file: loaded at startup if present, written at shutdown")
 	stdin := fs.Bool("stdin", false, "analyze one session from standard input and exit")
 	verbose := fs.Bool("v", false, "log per-session lifecycle events")
 	if err := fs.Parse(args); err != nil {
@@ -93,14 +118,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	srv := newServer(analyzer, serverOptions{
+	opts := serverOptions{
 		MaxStreams:  *maxStreams,
 		MaxSessions: *maxSessions,
 		Lateness:    sim.Time(*lateness / time.Microsecond),
 		DropLate:    *dropLate,
+		StoreBlocks: *storeBlocks,
 		Log:         log.New(stderr, "dominod: ", log.LstdFlags),
 		Verbose:     *verbose,
-	})
+	}
+	if *storeSpill != "" {
+		if f, err := os.Open(*storeSpill); err == nil {
+			st, err := rcastore.Load(f, rcastore.Options{MaxBlocks: *storeBlocks})
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "dominod: loading RCA store spill %s: %v\n", *storeSpill, err)
+				return 1
+			}
+			opts.Store = st
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintln(stderr, "dominod:", err)
+			return 1
+		}
+	}
+	srv := newServer(analyzer, opts)
 
 	if *stdin {
 		return srv.runStdin(os.Stdin, stdout, stderr)
@@ -120,9 +161,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutCtx)
+		if *storeSpill != "" {
+			if err := spillStore(srv.store, *storeSpill); err != nil {
+				fmt.Fprintln(stderr, "dominod: spilling RCA store:", err)
+				return 1
+			}
+			srv.log.Printf("RCA store spilled to %s (%s)", *storeSpill, srv.store.Stats())
+		}
 		srv.log.Printf("shut down")
 		return 0
 	}
+}
+
+// spillStore writes the store atomically: spill to a temp file in the
+// target directory, then rename over the destination.
+func spillStore(st *rcastore.Store, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := st.Spill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 type serverOptions struct {
@@ -130,8 +198,18 @@ type serverOptions struct {
 	MaxSessions int
 	Lateness    sim.Time
 	DropLate    bool
-	Log         *log.Logger
-	Verbose     bool
+	// StoreBlocks bounds the fleet RCA store (256-report blocks,
+	// evicted oldest-first); 0 retains everything.
+	StoreBlocks int
+	// Store, when non-nil, seeds the server with preloaded history (a
+	// reloaded spill). Otherwise an empty store is created.
+	Store *rcastore.Store
+	// Now overrides the fleet clock (wall-clock microseconds) stamped
+	// onto persisted reports; nil selects time.Now. Tests inject a
+	// deterministic clock here.
+	Now     func() sim.Time
+	Log     *log.Logger
+	Verbose bool
 }
 
 // server multiplexes concurrent session streams over one shared
@@ -145,6 +223,12 @@ type server struct {
 	limiter  *parallel.Limiter
 	opts     serverOptions
 	log      *log.Logger
+
+	// store is the longitudinal fleet memory: every completed session's
+	// report is collapsed into it, so diagnosis outlives both the
+	// pooled analyzer state and registry eviction.
+	store *rcastore.Store
+	now   func() sim.Time
 
 	causeClass, consequenceClass map[string]bool
 
@@ -208,9 +292,17 @@ func newServer(analyzer *core.Analyzer, opts serverOptions) *server {
 		limiter:          parallel.NewLimiter(opts.MaxStreams),
 		opts:             opts,
 		log:              opts.Log,
+		store:            opts.Store,
+		now:              opts.Now,
 		causeClass:       map[string]bool{},
 		consequenceClass: map[string]bool{},
 		nodeEventsTotal:  map[string]int64{},
+	}
+	if s.store == nil {
+		s.store = rcastore.New(rcastore.Options{MaxBlocks: opts.StoreBlocks})
+	}
+	if s.now == nil {
+		s.now = func() sim.Time { return sim.Time(time.Now().UnixMicro()) }
 	}
 	for i := range s.shards {
 		s.shards[i].sessions = map[string]*session{}
@@ -244,6 +336,8 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /sessions", s.handleSessions)
 	mux.HandleFunc("GET /report/{id}", s.handleReport)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /incidents/similar", s.handleSimilar)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -423,6 +517,10 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Unlock()
 	s.sessionsDone.Add(1)
 	s.lateDroppedTotal.Add(int64(stats.LateDropped))
+	// Persist the completed diagnosis into the fleet store, stamped so
+	// the session ends now and started a report-duration ago.
+	end := s.now()
+	s.store.Insert(rcastore.FromReport(id, end-rep.Duration, rep))
 	if s.opts.Verbose {
 		s.log.Printf("session %s: done (%d records, %d windows, %d chain events)",
 			id, stats.Records, stats.Windows, rep.TotalChainEvents())
@@ -583,6 +681,137 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.reportPayload(sess))
 }
 
+// parseQuery maps /query and /incidents/similar URL parameters onto a
+// store query. from/to are absolute microsecond timestamps; last is a
+// duration back from the fleet clock.
+func (s *server) parseQuery(r *http.Request) (rcastore.Query, error) {
+	q := rcastore.Query{
+		Cell:     r.URL.Query().Get("cell"),
+		Scenario: r.URL.Query().Get("scenario"),
+		Session:  r.URL.Query().Get("session"),
+		Cause:    r.URL.Query().Get("cause"),
+	}
+	if v := r.URL.Query().Get("fired"); v != "" {
+		q.FiredAll = strings.Split(v, ",")
+	}
+	for name, dst := range map[string]*sim.Time{"from": &q.From, "to": &q.To} {
+		if v := r.URL.Query().Get(name); v != "" {
+			us, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return q, fmt.Errorf("bad %s %q: want microseconds since epoch", name, v)
+			}
+			*dst = sim.Time(us)
+		}
+	}
+	if v := r.URL.Query().Get("last"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return q, fmt.Errorf("bad last %q: want a positive duration like 1h", v)
+		}
+		q.From = s.now() - sim.Time(d/time.Microsecond)
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("bad limit %q", v)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+// handleQuery serves longitudinal reads over the fleet RCA store:
+// matching records by default, or an aggregation when agg=top_chains
+// (ranked by total chain runs, top k) or agg=cause_rates (per-cell
+// cause-class rates over bucket-sized time buckets).
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, err := s.parseQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch agg := r.URL.Query().Get("agg"); agg {
+	case "":
+		writeJSON(w, http.StatusOK, map[string]any{"records": s.store.Query(q)})
+	case "top_chains":
+		k, err := intParam(r, "k", 10)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"top_chains": s.store.TopChains(q, k)})
+	case "cause_rates":
+		bucket := 10 * time.Minute
+		if v := r.URL.Query().Get("bucket"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("bad bucket %q: want a positive duration like 10m", v))
+				return
+			}
+			bucket = d
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"cause_rates": s.store.CauseRates(q, sim.Time(bucket/time.Microsecond)),
+		})
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown agg %q (want top_chains or cause_rates)", agg))
+	}
+}
+
+// handleSimilar serves nearest-prior-incident lookups: the probe
+// signature comes from an already-stored session (session=) or an
+// explicit fired= node list, and candidates rank by fired-node Hamming
+// distance, ties to the most recent.
+func (s *server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	k, err := intParam(r, "k", 5)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var fired []string
+	probeSession := r.URL.Query().Get("session")
+	switch {
+	case probeSession != "":
+		rec, ok := s.store.Fired(probeSession)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("session %q has no stored report", probeSession))
+			return
+		}
+		fired = rec.Fired
+	case r.URL.Query().Get("fired") != "":
+		fired = strings.Split(r.URL.Query().Get("fired"), ",")
+	default:
+		httpError(w, http.StatusBadRequest, "want session=ID or fired=node,node,...")
+		return
+	}
+	q := rcastore.Query{Cell: r.URL.Query().Get("cell"), Scenario: r.URL.Query().Get("scenario")}
+	matches := s.store.Similar(fired, q, k+1)
+	// The probe session is trivially its own nearest incident; drop it.
+	out := matches[:0]
+	for _, m := range matches {
+		if probeSession != "" && m.Session == probeSession {
+			continue
+		}
+		out = append(out, m)
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fired": fired, "matches": out})
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	active := 0
 	for i := range s.shards {
@@ -609,6 +838,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "dominod_windows_total %d\n", s.windowsTotal.Load())
 	fmt.Fprintf(w, "dominod_late_dropped_total %d\n", s.lateDroppedTotal.Load())
 	fmt.Fprintf(w, "dominod_chain_events_total %d\n", s.chainEventsTotal.Load())
+	st := s.store.Stats()
+	fmt.Fprintf(w, "dominod_rcastore_rows %d\n", st.Rows)
+	fmt.Fprintf(w, "dominod_rcastore_rows_inserted_total %d\n", st.InsertedRows)
+	fmt.Fprintf(w, "dominod_rcastore_rows_evicted_total %d\n", st.EvictedRows)
+	fmt.Fprintf(w, "dominod_rcastore_chains %d\n", st.Chains)
 
 	s.nodeMu.Lock()
 	nodes := make([]string, 0, len(s.nodeEventsTotal))

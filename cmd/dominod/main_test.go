@@ -7,6 +7,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"os"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -15,6 +18,7 @@ import (
 	"github.com/domino5g/domino"
 	"github.com/domino5g/domino/internal/core"
 	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/rcastore"
 	"github.com/domino5g/domino/internal/rtc"
 	"github.com/domino5g/domino/internal/sim"
 	"github.com/domino5g/domino/internal/trace"
@@ -403,5 +407,158 @@ func TestRunStdin(t *testing.T) {
 	}
 	if code := srv.runStdin(strings.NewReader("garbage\n"), &out, &errOut); code != 1 {
 		t.Fatalf("garbage stdin: exit %d, want 1", code)
+	}
+}
+
+// TestQueryAndSimilarEndpoints exercises the longitudinal store path:
+// completed sessions are auto-persisted, /query serves records and
+// aggregations that match batch analysis, and /incidents/similar ranks
+// prior incidents by fired-node distance.
+func TestQueryAndSimilarEndpoints(t *testing.T) {
+	analyzer := testAnalyzer(t)
+	const fleetNow = sim.Time(1_700_000_000_000_000) // fixed fleet clock, µs
+	srv := newServer(analyzer, serverOptions{MaxStreams: 2, Now: func() sim.Time { return fleetNow }})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	cells := []ran.CellConfig{ran.Amarisoft(), ran.Amarisoft(), ran.Mosolabs()}
+	sets := make([]*trace.Set, len(cells))
+	for i, cell := range cells {
+		set, body := sessionTrace(t, cell, uint64(40+i), 10*sim.Second)
+		sets[i] = set
+		resp, err := http.Post(fmt.Sprintf("%s/ingest?session=q%d", ts.URL, i), "application/jsonl", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest q%d: %d", i, resp.StatusCode)
+		}
+	}
+
+	// The stored records must equal FromReport over batch analysis,
+	// stamped with the injected fleet clock.
+	var recs struct {
+		Records []rcastore.Record `json:"records"`
+	}
+	getJSON(t, ts.URL+"/query", &recs)
+	if len(recs.Records) != 3 {
+		t.Fatalf("/query returned %d records, want 3", len(recs.Records))
+	}
+	for i, set := range sets {
+		batch, err := analyzer.Analyze(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rcastore.FromReport(fmt.Sprintf("q%d", i), fleetNow-batch.Duration, batch)
+		var got *rcastore.Record
+		for j := range recs.Records {
+			if recs.Records[j].Session == want.Session {
+				got = &recs.Records[j]
+			}
+		}
+		if got == nil {
+			t.Fatalf("session %s missing from /query", want.Session)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Fatalf("stored record for %s diverges from batch analysis:\ngot  %+v\nwant %+v", want.Session, *got, want)
+		}
+	}
+
+	// Cell predicate narrows; the fleet clock drives last=.
+	getJSON(t, ts.URL+"/query?cell="+url.QueryEscape(cells[2].Name), &recs)
+	if len(recs.Records) != 1 || recs.Records[0].Session != "q2" {
+		t.Fatalf("/query?cell= returned %+v", recs.Records)
+	}
+	getJSON(t, ts.URL+"/query?last=1h", &recs)
+	if len(recs.Records) != 3 {
+		t.Fatalf("/query?last=1h returned %d records", len(recs.Records))
+	}
+
+	var chains struct {
+		TopChains []rcastore.ChainAgg `json:"top_chains"`
+	}
+	getJSON(t, ts.URL+"/query?agg=top_chains&k=5", &chains)
+	if len(chains.TopChains) == 0 {
+		t.Fatal("/query?agg=top_chains returned no chains (amarisoft sessions fire chains)")
+	}
+	var rates struct {
+		CauseRates []rcastore.CauseBucket `json:"cause_rates"`
+	}
+	getJSON(t, ts.URL+"/query?agg=cause_rates&bucket=10m", &rates)
+	if len(rates.CauseRates) == 0 {
+		t.Fatal("/query?agg=cause_rates returned no buckets")
+	}
+
+	// q0 and q1 are same-cell same-duration amarisoft runs: each is the
+	// other's nearest prior incident, and the probe session itself is
+	// excluded.
+	var sim0 struct {
+		Fired   []string         `json:"fired"`
+		Matches []rcastore.Match `json:"matches"`
+	}
+	getJSON(t, ts.URL+"/incidents/similar?session=q0&k=2", &sim0)
+	if len(sim0.Fired) == 0 || len(sim0.Matches) == 0 {
+		t.Fatalf("similar probe empty: %+v", sim0)
+	}
+	for _, m := range sim0.Matches {
+		if m.Session == "q0" {
+			t.Fatal("probe session listed as its own nearest incident")
+		}
+	}
+	if sim0.Matches[0].Session != "q1" {
+		t.Fatalf("nearest incident to q0 = %s, want its twin q1", sim0.Matches[0].Session)
+	}
+
+	// Parameter validation.
+	for _, bad := range []string{
+		"/query?from=notanumber", "/query?last=-5m", "/query?agg=bogus",
+		"/query?agg=cause_rates&bucket=0s", "/incidents/similar",
+	} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/incidents/similar?session=unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("similar for unknown session: %d, want 404", resp.StatusCode)
+	}
+
+	metrics, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(metrics.Body)
+	metrics.Body.Close()
+	if !strings.Contains(string(body), "dominod_rcastore_rows 3") {
+		t.Fatalf("/metrics missing dominod_rcastore_rows 3:\n%s", body)
+	}
+
+	// Spill the live store and reload it the way run() does at boot:
+	// the reloaded history must answer queries identically.
+	path := t.TempDir() + "/fleet.jsonl"
+	if err := spillStore(srv.store, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := rcastore.Load(f, rcastore.Options{})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Query(rcastore.Query{}), srv.store.Query(rcastore.Query{})) {
+		t.Fatal("reloaded spill diverges from the live store")
 	}
 }

@@ -1,0 +1,68 @@
+// Command mdcheck validates relative links in markdown files so the
+// documentation set (README, ARCHITECTURE, ROADMAP, ...) cannot drift
+// from the tree it describes. For every [text](target) whose target is
+// not an absolute URL or a pure #fragment, the file or directory must
+// exist relative to the markdown file; exit status 1 otherwise:
+//
+//	mdcheck README.md ARCHITECTURE.md ROADMAP.md
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links, ignoring images' leading "!"
+// by capturing only the target. Nested parens in targets are rare
+// enough in this repo's docs to keep the pattern simple.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "mdcheck: no markdown files given")
+		return 2
+	}
+	broken := 0
+	for _, md := range args {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdcheck:", err)
+			return 2
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if !checkable(target) {
+					continue
+				}
+				target = strings.SplitN(target, "#", 2)[0]
+				if _, err := os.Stat(filepath.Join(filepath.Dir(md), target)); err != nil {
+					fmt.Fprintf(stdout, "%s:%d: broken link %q\n", md, i+1, m[1])
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(stdout, "mdcheck: %d broken links\n", broken)
+		return 1
+	}
+	return 0
+}
+
+// checkable reports whether a link target is a relative path this tool
+// can verify: external URLs and intra-document fragments are not.
+func checkable(target string) bool {
+	if strings.HasPrefix(target, "#") || strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return false
+	}
+	return true
+}

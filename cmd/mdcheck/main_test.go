@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return out.String() + errOut.String(), code
+}
+
+func TestLinkValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "real.md"), []byte("hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "examples"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	md := filepath.Join(dir, "doc.md")
+	content := `# Doc
+A [good file link](real.md) and a [good dir link](examples/).
+An [anchor into a file](real.md#section) and a [pure fragment](#local).
+An [external link](https://example.com/missing) is never checked.
+A [broken link](missing.md) and an [anchored broken link](gone.md#top).
+`
+	if err := os.WriteFile(md, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := check(t, md)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, `doc.md:5: broken link "missing.md"`) ||
+		!strings.Contains(out, `broken link "gone.md#top"`) ||
+		!strings.Contains(out, "2 broken links") {
+		t.Fatalf("wrong findings:\n%s", out)
+	}
+	for _, banned := range []string{"real.md", "examples", "example.com", "#local"} {
+		if strings.Contains(out, "broken link \""+banned) {
+			t.Fatalf("false positive on %q:\n%s", banned, out)
+		}
+	}
+}
+
+func TestCleanFileAndBadArgs(t *testing.T) {
+	dir := t.TempDir()
+	md := filepath.Join(dir, "clean.md")
+	if err := os.WriteFile(md, []byte("no links here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := check(t, md); code != 0 {
+		t.Fatalf("clean file flagged (exit %d):\n%s", code, out)
+	}
+	if _, code := check(t); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if _, code := check(t, filepath.Join(dir, "absent.md")); code != 2 {
+		t.Fatalf("unreadable file: exit %d, want 2", code)
+	}
+}

@@ -21,6 +21,19 @@
 //	report, _ := domino.StreamRecords(jsonlStream, sa)
 //
 // cmd/dominod packages the same path as an always-on ingest service.
+//
+// Completed reports can be retained in an embedded columnar store for
+// longitudinal, fleet-wide queries (time range, cell, cause class,
+// fired-node signature) and aggregations (top causal chains, cause
+// rates over time, nearest prior incident):
+//
+//	store := domino.NewRCAStore(domino.RCAStoreOptions{})
+//	store.Insert(domino.RecordFromReport("s001", start, report))
+//	top := store.TopChains(domino.RCAQuery{Cell: "tdd"}, 5)
+//
+// cmd/dominod serves the same queries over HTTP (/query,
+// /incidents/similar) and cmd/rcaquery runs them offline against a
+// spilled store file.
 package domino
 
 import (
@@ -28,6 +41,7 @@ import (
 
 	"github.com/domino5g/domino/internal/core"
 	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/rcastore"
 	"github.com/domino5g/domino/internal/rtc"
 	"github.com/domino5g/domino/internal/scenario"
 	"github.com/domino5g/domino/internal/sim"
@@ -86,6 +100,25 @@ type (
 	StreamConfig = stream.Config
 	// StreamStats counts a stream's progress.
 	StreamStats = stream.Stats
+
+	// RCAStore is an embedded columnar store of completed per-session
+	// RCA reports, queryable across a fleet's history.
+	RCAStore = rcastore.Store
+	// RCAStoreOptions bounds an RCAStore's block geometry and retention.
+	RCAStoreOptions = rcastore.Options
+	// RCARecord is one stored session outcome (the columnar row form of
+	// a Report).
+	RCARecord = rcastore.Record
+	// RCAQuery selects stored records by time range, cell, scenario,
+	// session, cause class, and fired-node signature.
+	RCAQuery = rcastore.Query
+	// RCAChainAgg ranks one causal chain across matching sessions.
+	RCAChainAgg = rcastore.ChainAgg
+	// RCACauseBucket is one per-cell, per-time-bucket cause-class rate.
+	RCACauseBucket = rcastore.CauseBucket
+	// RCAMatch is one nearest-prior-incident result with its Hamming
+	// distance from the probe signature.
+	RCAMatch = rcastore.Match
 )
 
 // DefaultChainsText is the paper's Fig. 9 causal graph in DSL form (24
@@ -170,6 +203,25 @@ func ParseScenario(r io.Reader) (Scenario, error) { return scenario.Parse(r) }
 // given seed, with every dynamic armed; Run it to obtain a trace
 // labeled with the scenario name.
 func NewScenarioSession(s Scenario, seed uint64) (*Session, error) { return s.Build(seed) }
+
+// NewRCAStore returns an empty fleet RCA store; a zero Options selects
+// the defaults (256-row blocks, unbounded retention).
+func NewRCAStore(opts RCAStoreOptions) *RCAStore { return rcastore.New(opts) }
+
+// LoadRCAStore rebuilds a store from a spilled JSONL stream (written by
+// RCAStore.Spill or dominod -store-spill). Loading and re-spilling an
+// unevicted store is byte-identical.
+func LoadRCAStore(r io.Reader, opts RCAStoreOptions) (*RCAStore, error) {
+	return rcastore.Load(r, opts)
+}
+
+// RecordFromReport collapses a completed analysis report into the
+// columnar record form: fired nodes, per-chain run counts, and
+// cause-class rollups, stamped with the session ID and fleet-absolute
+// start time.
+func RecordFromReport(session string, start Time, rep *Report) RCARecord {
+	return rcastore.FromReport(session, start, rep)
+}
 
 // ReadTrace loads a JSONL trace set.
 func ReadTrace(r io.Reader) (*TraceSet, error) { return trace.ReadJSONL(r) }

@@ -1,0 +1,71 @@
+// Fleet-scale longitudinal queries: simulate a small fleet of
+// degradation scenarios, retain every completed report in the embedded
+// RCA store, and then answer the questions an operator actually asks —
+// which causal chains dominate, how cause rates trend per cell, and
+// which prior incident a new outage most resembles.
+//
+// The same query engine backs dominod's GET /query and
+// GET /incidents/similar endpoints and the offline cmd/rcaquery CLI.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/domino5g/domino"
+)
+
+func main() {
+	analyzer, err := domino.NewAnalyzer(domino.DetectorConfig{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := domino.NewRCAStore(domino.RCAStoreOptions{})
+
+	// A small fleet: two sessions of each degradation scenario at
+	// distinct seeds, spaced a minute apart on a synthetic timeline.
+	scenarios := []string{"harq-storm", "rush-hour-cross-traffic", "flapping-rrc"}
+	session := 0
+	for _, name := range scenarios {
+		scn, err := domino.ScenarioByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, seed := range []uint64{11, 23} {
+			sess, err := domino.NewScenarioSession(scn, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report, err := analyzer.Analyze(sess.Run(40 * domino.Second))
+			if err != nil {
+				log.Fatal(err)
+			}
+			id := fmt.Sprintf("s%03d", session)
+			start := domino.Time(session) * 60_000_000 // one minute apart, µs
+			store.Insert(domino.RecordFromReport(id, start, report))
+			session++
+		}
+	}
+	fmt.Printf("fleet stored: %d sessions across %d scenarios\n\n", store.Len(), len(scenarios))
+
+	// Q1: which causal chains dominate the whole fleet's history?
+	fmt.Println("top causal chains, fleet-wide:")
+	for _, c := range store.TopChains(domino.RCAQuery{}, 3) {
+		fmt.Printf("  %3d runs in %d sessions  %s\n", c.Runs, c.Sessions, c.Chain)
+	}
+
+	// Q2: per-cell cause-class rates in two-minute buckets.
+	fmt.Println("\ncause rates per cell (2-minute buckets):")
+	for _, b := range store.CauseRates(domino.RCAQuery{}, 2*60_000_000) {
+		fmt.Printf("  %-22s t=%3ds  %-18s %.1f runs/min\n",
+			b.Cell, int64(b.Bucket)/1_000_000, b.Cause, b.RunsPerMin)
+	}
+
+	// Q3: a new incident just fired these nodes — which prior session
+	// looked most like it?
+	probe := []string{"harq_retx", "forward_delay_up", "jitter_buffer_drain"}
+	fmt.Printf("\nnearest prior incidents to signature %v:\n", probe)
+	for _, m := range store.Similar(probe, domino.RCAQuery{}, 3) {
+		fmt.Printf("  distance %d  %s (%s, %s)\n", m.Distance, m.Session, m.Cell, m.Scenario)
+	}
+}

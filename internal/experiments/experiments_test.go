@@ -93,6 +93,31 @@ func TestCaseStudyRunnersProduceOutput(t *testing.T) {
 	}
 }
 
+// TestFig14StoreQueryMatchesDirect differentially tests the
+// store-backed fig14 against the original trace-level rendering: the
+// report->record collapse, metric attachment, and per-cell store
+// queries must reproduce the direct table byte for byte.
+func TestFig14StoreQueryMatchesDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three preset sessions twice")
+	}
+	o := quickOpts()
+	via, err := fig14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := fig14Direct(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via.Text != direct.Text {
+		t.Fatalf("store-backed fig14 diverged from the direct oracle:\nstore:\n%s\ndirect:\n%s", via.Text, direct.Text)
+	}
+	if via.Title != direct.Title || via.PaperRef != direct.PaperRef || via.ID != direct.ID {
+		t.Fatal("fig14 result metadata diverged from the direct oracle")
+	}
+}
+
 func TestTable1RatesPlausible(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")

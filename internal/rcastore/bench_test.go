@@ -1,0 +1,109 @@
+package rcastore
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// synthRecords builds a deterministic fleet of records: cells ×
+// scenarios × sessions with varied fired sets, chain runs, and cause
+// rollups, driven by a seeded xorshift so the workload is identical
+// across runs and machines.
+func synthRecords(n int) []Record {
+	cells := []string{"tdd", "fdd", "amarisoft", "mosolabs"}
+	scens := []string{"harq-storm", "grant-starvation", "rush-hour-cross-traffic", "flapping-rrc"}
+	nodes := []string{
+		"harq_retx", "rlc_retx", "cross_traffic", "channel_degrades", "ul_scheduling", "rrc_state_change",
+		"forward_delay_up", "reverse_delay_up", "target_bitrate_down", "jitter_buffer_drain",
+		"inbound_framerate_down", "outbound_resolution_down",
+	}
+	chains := []string{
+		"harq_retx --> forward_delay_up --> jitter_buffer_drain",
+		"ul_scheduling --> target_bitrate_down --> outbound_resolution_down",
+		"cross_traffic --> forward_delay_up --> inbound_framerate_down",
+		"channel_degrades --> harq_retx --> jitter_buffer_drain",
+		"rrc_state_change --> forward_delay_up --> jitter_buffer_drain",
+	}
+	causeOf := []string{"harq_retx", "ul_scheduling", "cross_traffic", "channel_degrades", "rrc_state_change"}
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func(mod int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(mod))
+	}
+	out := make([]Record, n)
+	for i := range out {
+		start := sim.Time(i) * 30 * sim.Second
+		r := Record{
+			Session:  fmt.Sprintf("s%06d", i),
+			Cell:     cells[next(len(cells))],
+			Scenario: scens[next(len(scens))],
+			Start:    start,
+			End:      start + sim.Minute,
+		}
+		for j, name := range nodes {
+			if next(3) != 0 || j < 2 {
+				r.Fired = append(r.Fired, name)
+			}
+		}
+		seen := map[string]int{}
+		for c := 0; c < 1+next(3); c++ {
+			id := next(len(chains))
+			runs := 1 + next(8)
+			r.Chains = append(r.Chains, ChainRuns{Chain: chains[id], Runs: runs})
+			seen[causeOf[id]] += runs
+		}
+		for cause, runs := range seen {
+			r.Causes = append(r.Causes, CauseRuns{Cause: cause, Runs: runs})
+		}
+		r.Metrics = []Metric{{Name: "degradation_per_min", Value: float64(next(100)) / 10}}
+		out[i] = r
+	}
+	return out
+}
+
+// BenchmarkRCAStoreInsert measures fleet ingest into a bounded store:
+// each op pushes a 4096-record fleet through Insert with dictionary
+// interning, bitset packing, and block eviction all on the hot path.
+func BenchmarkRCAStoreInsert(b *testing.B) {
+	recs := synthRecords(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Options{BlockRows: 256, MaxBlocks: 8})
+		for _, r := range recs {
+			s.Insert(r)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(recs))/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkRCAStoreQuery measures the read side over a 8192-record
+// fleet: each op is one ranged record query plus the three
+// aggregations (top chains, cause rates, nearest-incident).
+func BenchmarkRCAStoreQuery(b *testing.B) {
+	recs := synthRecords(8192)
+	s := New(Options{BlockRows: 256})
+	for _, r := range recs {
+		s.Insert(r)
+	}
+	stats := s.Stats()
+	window := Query{From: stats.MaxStart - 30*sim.Minute, Cell: "tdd"}
+	probe := []string{"harq_retx", "forward_delay_up", "jitter_buffer_drain", "cross_traffic"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		rows += len(s.Query(window))
+		rows += len(s.TopChains(Query{From: stats.MaxStart - 60*sim.Minute}, 5))
+		rows += len(s.CauseRates(Query{Cell: "fdd"}, 10*sim.Minute))
+		rows += len(s.Similar(probe, Query{}, 5))
+	}
+	if rows == 0 {
+		b.Fatal("benchmark queries matched nothing")
+	}
+	b.ReportMetric(float64(b.N*4)/b.Elapsed().Seconds(), "queries/s")
+}

@@ -1,0 +1,384 @@
+package rcastore
+
+import (
+	"math/bits"
+	"sort"
+
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// Query is the typed predicate set every store read accepts. Zero
+// fields match everything, so Query{} selects the whole retained
+// history.
+type Query struct {
+	// From/To bound the record start time: a record matches when
+	// From <= Start, and Start < To when To is nonzero.
+	From, To sim.Time
+	// Cell/Scenario/Session match those columns exactly when nonempty.
+	Cell     string
+	Scenario string
+	Session  string
+	// Cause matches records whose cause rollups include this cause
+	// class with at least one run.
+	Cause string
+	// FiredAll matches records whose fired-node set includes every
+	// listed node (a bitset superset test). A node the store has never
+	// seen matches nothing.
+	FiredAll []string
+	// Limit truncates Query results after sorting (0 = unlimited). It
+	// does not affect aggregations.
+	Limit int
+}
+
+// compiled is a query resolved against the store dictionaries. ok=false
+// means some predicate names an unknown dictionary entry and the query
+// matches nothing.
+type compiled struct {
+	q                Query
+	cellID, scenID   int
+	causeID          int
+	hasCell, hasScen bool
+	hasCause         bool
+	want             []uint64 // fired-node superset mask
+	ok               bool
+}
+
+func (s *Store) compileLocked(q Query) compiled {
+	c := compiled{q: q, ok: true}
+	if q.Cell != "" {
+		c.cellID, c.ok = s.cells.lookup(q.Cell)
+		if !c.ok {
+			return c
+		}
+		c.hasCell = true
+	}
+	if q.Scenario != "" {
+		c.scenID, c.ok = s.scens.lookup(q.Scenario)
+		if !c.ok {
+			return c
+		}
+		c.hasScen = true
+	}
+	if q.Cause != "" {
+		c.causeID, c.ok = s.causes.lookup(q.Cause)
+		if !c.ok {
+			return c
+		}
+		c.hasCause = true
+	}
+	for _, n := range q.FiredAll {
+		id, ok := s.nodes.lookup(n)
+		if !ok {
+			c.ok = false
+			return c
+		}
+		for id/64 >= len(c.want) {
+			c.want = append(c.want, 0)
+		}
+		c.want[id/64] |= 1 << uint(id%64)
+	}
+	return c
+}
+
+// blockMatch prunes whole blocks on the block-level indexes.
+func (c compiled) blockMatch(b *block) bool {
+	if b.n == 0 {
+		return false
+	}
+	if c.q.To != 0 && b.minStart >= c.q.To {
+		return false
+	}
+	if b.maxStart < c.q.From {
+		return false
+	}
+	if c.hasCell && !maskHas(b.cellMask, c.cellID) {
+		return false
+	}
+	if c.hasScen && !maskHas(b.scenMask, c.scenID) {
+		return false
+	}
+	return true
+}
+
+func (c compiled) rowMatch(b *block, i int) bool {
+	if st := b.starts[i]; st < c.q.From || (c.q.To != 0 && st >= c.q.To) {
+		return false
+	}
+	if c.hasCell && int(b.cellIDs[i]) != c.cellID {
+		return false
+	}
+	if c.hasScen && int(b.scenIDs[i]) != c.scenID {
+		return false
+	}
+	if c.q.Session != "" && b.sessions[i] != c.q.Session {
+		return false
+	}
+	if len(c.want) > 0 {
+		row := b.row(i)
+		for w, want := range c.want {
+			var have uint64
+			if w < len(row) {
+				have = row[w]
+			}
+			if have&want != want {
+				return false
+			}
+		}
+	}
+	if c.hasCause {
+		found := false
+		for k := b.causeOff[i]; k < b.causeOff[i+1]; k++ {
+			if int(b.causeIDs[k]) == c.causeID && b.causeRuns[k] > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// scanLocked streams every matching (block, row) pair in insertion
+// order. The caller must hold at least the read lock.
+func (s *Store) scanLocked(c compiled, visit func(b *block, i int)) {
+	if !c.ok {
+		return
+	}
+	for _, b := range s.blocks {
+		if !c.blockMatch(b) {
+			continue
+		}
+		for i := 0; i < b.n; i++ {
+			if c.rowMatch(b, i) {
+				visit(b, i)
+			}
+		}
+	}
+}
+
+// Query returns matching records sorted by (Start, Session), truncated
+// to q.Limit when nonzero.
+func (s *Store) Query(q Query) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	s.scanLocked(s.compileLocked(q), func(b *block, i int) {
+		out = append(out, s.materializeLocked(b, i))
+	})
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Session < out[j].Session
+	})
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+// ChainAgg is one chain's fleet-wide aggregate over a query's matches.
+type ChainAgg struct {
+	Chain string `json:"chain"`
+	// Runs sums collapsed chain runs across matching records; Sessions
+	// counts the records the chain appeared in.
+	Runs     int `json:"runs"`
+	Sessions int `json:"sessions"`
+}
+
+// TopChains ranks causal chains by total collapsed runs across the
+// matching records — "top causal chains fleet-wide in the last hour"
+// is TopChains(Query{From: now-1h}, k). Ties break by chain signature;
+// k <= 0 returns every chain seen.
+func (s *Store) TopChains(q Query, k int) []ChainAgg {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	runs := map[uint32]int{}
+	sessions := map[uint32]int{}
+	s.scanLocked(s.compileLocked(q), func(b *block, i int) {
+		for j := b.chainOff[i]; j < b.chainOff[i+1]; j++ {
+			runs[b.chainIDs[j]] += int(b.chainRuns[j])
+			sessions[b.chainIDs[j]]++
+		}
+	})
+	out := make([]ChainAgg, 0, len(runs))
+	for id, n := range runs {
+		out = append(out, ChainAgg{Chain: s.chains.name(id), Runs: n, Sessions: sessions[id]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Runs != out[j].Runs {
+			return out[i].Runs > out[j].Runs
+		}
+		return out[i].Chain < out[j].Chain
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// CauseBucket is one (cell, time bucket, cause class) cell of the
+// longitudinal cause-rate surface.
+type CauseBucket struct {
+	Cell string `json:"cell"`
+	// Bucket is the bucket's start on the fleet timeline.
+	Bucket sim.Time `json:"bucket_us"`
+	Cause  string   `json:"cause"`
+	// Runs sums the cause's chain runs over the bucket's sessions;
+	// Sessions counts matching records in the (cell, bucket) group —
+	// including ones where this cause never fired, so rates compare
+	// across buckets.
+	Runs     int `json:"runs"`
+	Sessions int `json:"sessions"`
+	// RunsPerMin normalizes Runs by the group's total session minutes.
+	RunsPerMin float64 `json:"runs_per_min"`
+}
+
+// CauseRates buckets matching records by start time and aggregates
+// cause-class chain runs per (cell, bucket): the "is grant starvation
+// trending up in this cell" query. Results are sorted by (cell,
+// bucket, cause). bucket <= 0 collapses the timeline into one bucket.
+func (s *Store) CauseRates(q Query, bucket sim.Time) []CauseBucket {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type groupKey struct {
+		cell   uint32
+		bucket sim.Time
+	}
+	type cellKey struct {
+		groupKey
+		cause uint32
+	}
+	runs := map[cellKey]int{}
+	sessions := map[groupKey]int{}
+	minutes := map[groupKey]float64{}
+	s.scanLocked(s.compileLocked(q), func(b *block, i int) {
+		bs := sim.Time(0)
+		if bucket > 0 {
+			bs = b.starts[i] / bucket * bucket
+		}
+		g := groupKey{cell: b.cellIDs[i], bucket: bs}
+		sessions[g]++
+		minutes[g] += (b.ends[i] - b.starts[i]).Seconds() / 60
+		for k := b.causeOff[i]; k < b.causeOff[i+1]; k++ {
+			runs[cellKey{groupKey: g, cause: b.causeIDs[k]}] += int(b.causeRuns[k])
+		}
+	})
+	out := make([]CauseBucket, 0, len(runs))
+	for k, n := range runs {
+		cb := CauseBucket{
+			Cell:     s.cells.name(k.cell),
+			Bucket:   k.bucket,
+			Cause:    s.causes.name(k.cause),
+			Runs:     n,
+			Sessions: sessions[k.groupKey],
+		}
+		if m := minutes[k.groupKey]; m > 0 {
+			cb.RunsPerMin = float64(n) / m
+		}
+		out = append(out, cb)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cell != out[j].Cell {
+			return out[i].Cell < out[j].Cell
+		}
+		if out[i].Bucket != out[j].Bucket {
+			return out[i].Bucket < out[j].Bucket
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
+}
+
+// Match is one nearest-prior-incident result: a record plus its
+// fired-node Hamming distance from the probe signature.
+type Match struct {
+	Record
+	// Distance is the Hamming distance between the probe's fired-node
+	// set and the record's: nodes in exactly one of the two sets.
+	Distance int `json:"distance"`
+}
+
+// Similar finds the k records most similar to a fired-node signature,
+// by Hamming distance over the packed fired bitsets — the "which prior
+// incident looks like this one" lookup. Probe nodes the store has
+// never seen still count toward the distance (no record can share
+// them). Ties break toward more recent records, then session. q
+// narrows the candidate set; k <= 0 returns all matches ranked.
+func (s *Store) Similar(fired []string, q Query, k int) []Match {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var probe []uint64
+	unknown := 0
+	for _, n := range fired {
+		id, ok := s.nodes.lookup(n)
+		if !ok {
+			unknown++
+			continue
+		}
+		for id/64 >= len(probe) {
+			probe = append(probe, 0)
+		}
+		probe[id/64] |= 1 << uint(id%64)
+	}
+	type hit struct {
+		b *block
+		i int
+		d int
+	}
+	var hits []hit
+	s.scanLocked(s.compileLocked(q), func(b *block, i int) {
+		row := b.row(i)
+		d := unknown
+		n := len(row)
+		if len(probe) > n {
+			n = len(probe)
+		}
+		for w := 0; w < n; w++ {
+			var have, want uint64
+			if w < len(row) {
+				have = row[w]
+			}
+			if w < len(probe) {
+				want = probe[w]
+			}
+			d += bits.OnesCount64(have ^ want)
+		}
+		hits = append(hits, hit{b, i, d})
+	})
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].d != hits[j].d {
+			return hits[i].d < hits[j].d
+		}
+		if hits[i].b.starts[hits[i].i] != hits[j].b.starts[hits[j].i] {
+			return hits[i].b.starts[hits[i].i] > hits[j].b.starts[hits[j].i]
+		}
+		return hits[i].b.sessions[hits[i].i] < hits[j].b.sessions[hits[j].i]
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	out := make([]Match, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, Match{Record: s.materializeLocked(h.b, h.i), Distance: h.d})
+	}
+	return out
+}
+
+// Fired returns the most recently inserted record for a session and
+// whether one exists — the probe-building step of /incidents/similar.
+func (s *Store) Fired(session string) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for bi := len(s.blocks) - 1; bi >= 0; bi-- {
+		b := s.blocks[bi]
+		for i := b.n - 1; i >= 0; i-- {
+			if b.sessions[i] == session {
+				return s.materializeLocked(b, i), true
+			}
+		}
+	}
+	return Record{}, false
+}

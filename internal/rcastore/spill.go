@@ -1,0 +1,225 @@
+package rcastore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// spillFormat versions the spill layout; Load rejects other versions.
+const spillFormat = 1
+
+// spillHeader is the first JSONL line: the format version and every
+// dictionary in ID order, so a reload reconstructs identical IDs and a
+// re-spill is byte-identical to the original.
+type spillHeader struct {
+	Format    int      `json:"rcastore"`
+	Nodes     []string `json:"nodes"`
+	Cells     []string `json:"cells"`
+	Scenarios []string `json:"scenarios"`
+	Chains    []string `json:"chains"`
+	Causes    []string `json:"causes"`
+	Metrics   []string `json:"metrics"`
+}
+
+// spillPair is one (dictionary ID, count) entry of a sparse column.
+type spillPair [2]uint32
+
+// spillMetric is one (dictionary ID, value) metric entry.
+type spillMetric struct {
+	ID    uint32  `json:"id"`
+	Value float64 `json:"v"`
+}
+
+// spillRow is one record with all strings dictionary-encoded. Fired
+// nodes are written as ascending dictionary IDs rather than bitset
+// words so the format is independent of block stride.
+type spillRow struct {
+	Session  string        `json:"session"`
+	Cell     uint32        `json:"cell"`
+	Scenario uint32        `json:"scenario"`
+	Start    int64         `json:"start_us"`
+	End      int64         `json:"end_us"`
+	Fired    []uint32      `json:"fired,omitempty"`
+	Chains   []spillPair   `json:"chains,omitempty"`
+	Causes   []spillPair   `json:"causes,omitempty"`
+	Metrics  []spillMetric `json:"metrics,omitempty"`
+}
+
+// Spill writes the retained store as JSONL: one dictionary header line
+// followed by one line per record in insertion order. The output is a
+// pure function of the store's state — spilling a reloaded spill
+// reproduces it byte for byte (pinned by TestSpillReloadRoundTrip).
+func (s *Store) Spill(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := spillHeader{
+		Format:    spillFormat,
+		Nodes:     emptyNotNil(s.nodes.names),
+		Cells:     emptyNotNil(s.cells.names),
+		Scenarios: emptyNotNil(s.scens.names),
+		Chains:    emptyNotNil(s.chains.names),
+		Causes:    emptyNotNil(s.causes.names),
+		Metrics:   emptyNotNil(s.mnames.names),
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, b := range s.blocks {
+		for i := 0; i < b.n; i++ {
+			row := spillRow{
+				Session:  b.sessions[i],
+				Cell:     b.cellIDs[i],
+				Scenario: b.scenIDs[i],
+				Start:    int64(b.starts[i]),
+				End:      int64(b.ends[i]),
+			}
+			for w, word := range b.row(i) {
+				for bit := 0; bit < 64; bit++ {
+					if word&(1<<uint(bit)) != 0 {
+						row.Fired = append(row.Fired, uint32(w*64+bit))
+					}
+				}
+			}
+			for k := b.chainOff[i]; k < b.chainOff[i+1]; k++ {
+				row.Chains = append(row.Chains, spillPair{b.chainIDs[k], b.chainRuns[k]})
+			}
+			for k := b.causeOff[i]; k < b.causeOff[i+1]; k++ {
+				row.Causes = append(row.Causes, spillPair{b.causeIDs[k], b.causeRuns[k]})
+			}
+			for k := b.metricOff[i]; k < b.metricOff[i+1]; k++ {
+				row.Metrics = append(row.Metrics, spillMetric{ID: b.metricIDs[k], Value: b.metricVals[k]})
+			}
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func emptyNotNil(s []string) []string {
+	if s == nil {
+		return []string{}
+	}
+	return s
+}
+
+// Load rebuilds a store from a Spill stream. The header seeds the
+// dictionaries in their original order, so IDs — and a subsequent
+// Spill — are identical to the source store's. opts applies fresh: a
+// smaller MaxBlocks than the spilling store's re-evicts the oldest
+// rows on the way in.
+func Load(r io.Reader, opts Options) (*Store, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("rcastore: empty spill: missing header line")
+	}
+	var hdr spillHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("rcastore: decoding spill header: %w", err)
+	}
+	if hdr.Format != spillFormat {
+		return nil, fmt.Errorf("rcastore: unsupported spill format %d (want %d)", hdr.Format, spillFormat)
+	}
+	s := New(opts)
+	seed := func(d *dict, names []string, kind string) error {
+		for _, n := range names {
+			before := len(d.names)
+			if d.id(n) != before {
+				return fmt.Errorf("rcastore: duplicate %s dictionary entry %q", kind, n)
+			}
+		}
+		return nil
+	}
+	if err := seed(s.nodes, hdr.Nodes, "node"); err != nil {
+		return nil, err
+	}
+	if err := seed(s.cells, hdr.Cells, "cell"); err != nil {
+		return nil, err
+	}
+	if err := seed(s.scens, hdr.Scenarios, "scenario"); err != nil {
+		return nil, err
+	}
+	if err := seed(s.chains, hdr.Chains, "chain"); err != nil {
+		return nil, err
+	}
+	if err := seed(s.causes, hdr.Causes, "cause"); err != nil {
+		return nil, err
+	}
+	if err := seed(s.mnames, hdr.Metrics, "metric"); err != nil {
+		return nil, err
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var row spillRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return nil, fmt.Errorf("rcastore: spill line %d: %w", line, err)
+		}
+		rec, err := s.decodeRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("rcastore: spill line %d: %w", line, err)
+		}
+		s.Insert(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// decodeRow resolves a dictionary-encoded spill row back into a
+// Record against the (already seeded) dictionaries.
+func (s *Store) decodeRow(row spillRow) (Record, error) {
+	if int(row.Cell) >= len(s.cells.names) {
+		return Record{}, fmt.Errorf("cell ID %d out of range", row.Cell)
+	}
+	if int(row.Scenario) >= len(s.scens.names) {
+		return Record{}, fmt.Errorf("scenario ID %d out of range", row.Scenario)
+	}
+	rec := Record{
+		Session:  row.Session,
+		Cell:     s.cells.name(row.Cell),
+		Scenario: s.scens.name(row.Scenario),
+		Start:    sim.Time(row.Start),
+		End:      sim.Time(row.End),
+	}
+	for _, id := range row.Fired {
+		if int(id) >= len(s.nodes.names) {
+			return Record{}, fmt.Errorf("fired node ID %d out of range", id)
+		}
+		rec.Fired = append(rec.Fired, s.nodes.name(id))
+	}
+	for _, p := range row.Chains {
+		if int(p[0]) >= len(s.chains.names) {
+			return Record{}, fmt.Errorf("chain ID %d out of range", p[0])
+		}
+		rec.Chains = append(rec.Chains, ChainRuns{Chain: s.chains.name(p[0]), Runs: int(p[1])})
+	}
+	for _, p := range row.Causes {
+		if int(p[0]) >= len(s.causes.names) {
+			return Record{}, fmt.Errorf("cause ID %d out of range", p[0])
+		}
+		rec.Causes = append(rec.Causes, CauseRuns{Cause: s.causes.name(p[0]), Runs: int(p[1])})
+	}
+	for _, m := range row.Metrics {
+		if int(m.ID) >= len(s.mnames.names) {
+			return Record{}, fmt.Errorf("metric ID %d out of range", m.ID)
+		}
+		rec.Metrics = append(rec.Metrics, Metric{Name: s.mnames.name(m.ID), Value: m.Value})
+	}
+	return rec, nil
+}

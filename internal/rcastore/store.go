@@ -1,0 +1,508 @@
+// Package rcastore is the fleet RCA memory: an embedded, append-only
+// columnar store for completed analysis reports. Where dominod's
+// per-session registry answers "what is wrong with this call right
+// now", the store answers longitudinal questions across thousands of
+// finished calls — "top causal chains fleet-wide in the last hour",
+// "cells whose grant-starvation rate is trending up", "which prior
+// incident looks like this one".
+//
+// Each completed core.Report collapses into one Record: identity
+// columns (session, cell, scenario), a fleet-timeline position
+// (start/end), the set of causal-graph nodes that fired at least once
+// (packed as a dictionary-indexed bitset, the same uint64-word trick
+// core.FeatureBits plays for the 36 detector features), per-chain
+// collapsed run counts, per-cause-class rollups, and optional named
+// numeric metrics. Records live in fixed-size column blocks with
+// block-level time/cell/scenario pruning indexes; memory is bounded by
+// evicting whole blocks oldest-first, and a JSONL spill format
+// (Store.Spill / Load) carries history across restarts byte-identically.
+//
+// The query layer (query.go) matches typed predicates — time range,
+// cell, scenario, cause class, fired-node mask, session — and
+// aggregates matches into top-chain rankings, per-cell cause-class
+// rates over time buckets, and nearest-prior-incident lookups by
+// fired-node Hamming similarity.
+package rcastore
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// Options bound the store.
+type Options struct {
+	// BlockRows is the number of records per column block (default
+	// 256). Larger blocks amortize per-block index overhead; smaller
+	// blocks evict at finer granularity.
+	BlockRows int
+	// MaxBlocks caps retained blocks; once exceeded, whole blocks are
+	// evicted oldest-first (insertion order). 0 retains everything.
+	MaxBlocks int
+}
+
+func (o Options) defaults() Options {
+	if o.BlockRows <= 0 {
+		o.BlockRows = 256
+	}
+	return o
+}
+
+// ChainRuns is one chain's collapsed run count within a record.
+type ChainRuns struct {
+	// Chain is the chain signature in DSL form ("cause --> ... -->
+	// consequence"), the stable cross-session chain identity.
+	Chain string `json:"chain"`
+	Runs  int    `json:"runs"`
+}
+
+// CauseRuns is one cause class's collapsed chain-run rollup within a
+// record.
+type CauseRuns struct {
+	Cause string `json:"cause"`
+	Runs  int    `json:"runs"`
+}
+
+// Metric is one named numeric rollup attached to a record — per-session
+// KPIs (delay quantiles, TB statistics) that longitudinal artifacts
+// query instead of re-simulating.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Record is one completed session's row: what fired, which chains
+// matched how often, and where the session sits on the fleet timeline.
+// Start/End are absolute fleet times (wall-clock microseconds in
+// dominod, synthetic timelines in experiments) — not the session's
+// internal 0-based trace clock.
+type Record struct {
+	Session  string   `json:"session"`
+	Cell     string   `json:"cell"`
+	Scenario string   `json:"scenario,omitempty"`
+	Start    sim.Time `json:"start_us"`
+	End      sim.Time `json:"end_us"`
+	// Fired lists causal-graph nodes with at least one collapsed event
+	// run, sorted by name.
+	Fired []string `json:"fired,omitempty"`
+	// Chains holds collapsed run counts per matched chain, sorted by
+	// chain signature.
+	Chains []ChainRuns `json:"chains,omitempty"`
+	// Causes holds chain-run rollups per root cause class, sorted by
+	// cause.
+	Causes []CauseRuns `json:"causes,omitempty"`
+	// Metrics holds optional named numeric rollups, sorted by name.
+	Metrics []Metric `json:"metrics,omitempty"`
+}
+
+// Duration returns the record's fleet-timeline span.
+func (r Record) Duration() sim.Time { return r.End - r.Start }
+
+// Metric returns a named metric value and whether it is present.
+func (r Record) Metric(name string) (float64, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// TotalChainRuns sums the record's collapsed chain runs.
+func (r Record) TotalChainRuns() int {
+	n := 0
+	for _, c := range r.Chains {
+		n += c.Runs
+	}
+	return n
+}
+
+// FromReport collapses a completed analysis report into a store record.
+// start places the session on the fleet timeline; the record ends at
+// start + report duration. Fired nodes, chain signatures, and cause
+// rollups come sorted, so records built from equal reports are equal.
+func FromReport(session string, start sim.Time, rep *core.Report) Record {
+	rec := Record{
+		Session:  session,
+		Cell:     rep.CellName,
+		Scenario: rep.Scenario,
+		Start:    start,
+		End:      start + rep.Duration,
+	}
+	for node, runs := range rep.NodeEvents {
+		if len(runs) > 0 {
+			rec.Fired = append(rec.Fired, node)
+		}
+	}
+	sort.Strings(rec.Fired)
+	chainAgg := map[string]int{}
+	causeAgg := map[string]int{}
+	for _, runs := range rep.ChainEvents {
+		if len(runs) == 0 {
+			continue
+		}
+		chainAgg[runs[0].Chain.String()] += len(runs)
+		causeAgg[runs[0].Chain.Cause()] += len(runs)
+	}
+	for sig, n := range chainAgg {
+		rec.Chains = append(rec.Chains, ChainRuns{Chain: sig, Runs: n})
+	}
+	sort.Slice(rec.Chains, func(i, j int) bool { return rec.Chains[i].Chain < rec.Chains[j].Chain })
+	for cause, n := range causeAgg {
+		rec.Causes = append(rec.Causes, CauseRuns{Cause: cause, Runs: n})
+	}
+	sort.Slice(rec.Causes, func(i, j int) bool { return rec.Causes[i].Cause < rec.Causes[j].Cause })
+	return rec
+}
+
+// dict interns strings: names get dense IDs in first-seen order, the
+// IDs index the columnar arrays. Dictionaries only grow — IDs stay
+// valid for the life of the store (and across spill/reload, which
+// serializes them in order).
+type dict struct {
+	names []string
+	index map[string]int
+}
+
+func newDict() *dict { return &dict{index: map[string]int{}} }
+
+func (d *dict) id(name string) int {
+	if i, ok := d.index[name]; ok {
+		return i
+	}
+	i := len(d.names)
+	d.names = append(d.names, name)
+	d.index[name] = i
+	return i
+}
+
+func (d *dict) lookup(name string) (int, bool) {
+	i, ok := d.index[name]
+	return i, ok
+}
+
+func (d *dict) name(i uint32) string { return d.names[i] }
+
+// block is one fixed-capacity run of records in columnar layout: plain
+// parallel arrays per fixed-width column, offset+values arrays for the
+// variable-width ones (chain runs, cause rollups, metrics), and a flat
+// bitset matrix for fired nodes (stride words per row). Blocks carry
+// min/max-start bounds and cell/scenario presence bitmaps so queries
+// skip whole blocks without touching rows.
+type block struct {
+	n        int
+	sessions []string
+	cellIDs  []uint32
+	scenIDs  []uint32
+	starts   []sim.Time
+	ends     []sim.Time
+
+	// fired is an n×stride matrix of bitset words; row i spans
+	// fired[i*stride : (i+1)*stride], bit j of the row = node dict ID j
+	// fired. stride grows (with a repack) when the node universe
+	// outgrows the current word count.
+	stride int
+	fired  []uint64
+
+	chainOff, chainIDs, chainRuns []uint32
+	causeOff, causeIDs, causeRuns []uint32
+	metricOff, metricIDs          []uint32
+	metricVals                    []float64
+
+	minStart, maxStart sim.Time
+	cellMask, scenMask []uint64
+}
+
+func newBlock(rows, stride int) *block {
+	b := &block{stride: stride}
+	b.sessions = make([]string, 0, rows)
+	b.cellIDs = make([]uint32, 0, rows)
+	b.scenIDs = make([]uint32, 0, rows)
+	b.starts = make([]sim.Time, 0, rows)
+	b.ends = make([]sim.Time, 0, rows)
+	b.fired = make([]uint64, 0, rows*stride)
+	b.chainOff = append(make([]uint32, 0, rows+1), 0)
+	b.causeOff = append(make([]uint32, 0, rows+1), 0)
+	b.metricOff = append(make([]uint32, 0, rows+1), 0)
+	return b
+}
+
+// row returns record i's fired-bitset words.
+func (b *block) row(i int) []uint64 { return b.fired[i*b.stride : (i+1)*b.stride] }
+
+// repack widens the bitset matrix to a new stride, zero-extending every
+// existing row. Rare: it runs only when a record fires a node beyond
+// the universe seen when the block was opened.
+func (b *block) repack(stride int) {
+	if stride <= b.stride {
+		return
+	}
+	wide := make([]uint64, 0, cap(b.fired)/maxInt(b.stride, 1)*stride)
+	for i := 0; i < b.n; i++ {
+		wide = append(wide, b.row(i)...)
+		for k := b.stride; k < stride; k++ {
+			wide = append(wide, 0)
+		}
+	}
+	b.fired, b.stride = wide, stride
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func setMaskBit(mask *[]uint64, id int) {
+	for id/64 >= len(*mask) {
+		*mask = append(*mask, 0)
+	}
+	(*mask)[id/64] |= 1 << uint(id%64)
+}
+
+func maskHas(mask []uint64, id int) bool {
+	return id/64 < len(mask) && mask[id/64]&(1<<uint(id%64)) != 0
+}
+
+// Store is the embedded fleet RCA store. All methods are safe for
+// concurrent use; inserts take the write lock, queries the read lock.
+type Store struct {
+	mu   sync.RWMutex
+	opts Options
+
+	nodes, cells, scens    *dict
+	chains, causes, mnames *dict
+
+	blocks []*block
+
+	insertedRows  int
+	evictedRows   int
+	evictedBlocks int
+}
+
+// New returns an empty store.
+func New(opts Options) *Store {
+	return &Store{
+		opts:   opts.defaults(),
+		nodes:  newDict(),
+		cells:  newDict(),
+		scens:  newDict(),
+		chains: newDict(),
+		causes: newDict(),
+		mnames: newDict(),
+	}
+}
+
+// Insert appends one record. Records may arrive in any time order —
+// the store is ordered by arrival, and block time bounds (not sort
+// order) drive query pruning — but retention is arrival-ordered too:
+// when MaxBlocks is exceeded the oldest-inserted block is dropped
+// whole. Insert normalizes nothing beyond what it stores; use
+// FromReport for canonically sorted records.
+func (s *Store) Insert(rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Intern everything first so the needed stride is known before the
+	// row is appended.
+	cellID := s.cells.id(rec.Cell)
+	scenID := s.scens.id(rec.Scenario)
+	nodeIDs := make([]int, len(rec.Fired))
+	maxNode := -1
+	for i, n := range rec.Fired {
+		nodeIDs[i] = s.nodes.id(n)
+		if nodeIDs[i] > maxNode {
+			maxNode = nodeIDs[i]
+		}
+	}
+	stride := (s.nodeUniverseLocked() + 63) / 64
+	if stride == 0 {
+		stride = 1
+	}
+
+	b := s.openBlockLocked(stride)
+	if stride > b.stride {
+		b.repack(stride)
+	}
+
+	b.sessions = append(b.sessions, rec.Session)
+	b.cellIDs = append(b.cellIDs, uint32(cellID))
+	b.scenIDs = append(b.scenIDs, uint32(scenID))
+	b.starts = append(b.starts, rec.Start)
+	b.ends = append(b.ends, rec.End)
+	rowStart := len(b.fired)
+	for k := 0; k < b.stride; k++ {
+		b.fired = append(b.fired, 0)
+	}
+	row := b.fired[rowStart:]
+	for _, id := range nodeIDs {
+		row[id/64] |= 1 << uint(id%64)
+	}
+	for _, c := range rec.Chains {
+		b.chainIDs = append(b.chainIDs, uint32(s.chains.id(c.Chain)))
+		b.chainRuns = append(b.chainRuns, uint32(c.Runs))
+	}
+	b.chainOff = append(b.chainOff, uint32(len(b.chainIDs)))
+	for _, c := range rec.Causes {
+		b.causeIDs = append(b.causeIDs, uint32(s.causes.id(c.Cause)))
+		b.causeRuns = append(b.causeRuns, uint32(c.Runs))
+	}
+	b.causeOff = append(b.causeOff, uint32(len(b.causeIDs)))
+	for _, m := range rec.Metrics {
+		b.metricIDs = append(b.metricIDs, uint32(s.mnames.id(m.Name)))
+		b.metricVals = append(b.metricVals, m.Value)
+	}
+	b.metricOff = append(b.metricOff, uint32(len(b.metricIDs)))
+
+	if b.n == 0 || rec.Start < b.minStart {
+		b.minStart = rec.Start
+	}
+	if b.n == 0 || rec.Start > b.maxStart {
+		b.maxStart = rec.Start
+	}
+	setMaskBit(&b.cellMask, cellID)
+	setMaskBit(&b.scenMask, scenID)
+	b.n++
+	s.insertedRows++
+
+	s.evictLocked()
+}
+
+// InsertReport is Insert ∘ FromReport, with optional metrics attached.
+func (s *Store) InsertReport(session string, start sim.Time, rep *core.Report, metrics []Metric) {
+	rec := FromReport(session, start, rep)
+	rec.Metrics = metrics
+	s.Insert(rec)
+}
+
+// nodeUniverseLocked is the current fired-node dictionary size.
+func (s *Store) nodeUniverseLocked() int { return len(s.nodes.names) }
+
+func (s *Store) openBlockLocked(stride int) *block {
+	if n := len(s.blocks); n > 0 && s.blocks[n-1].n < s.opts.BlockRows {
+		return s.blocks[n-1]
+	}
+	b := newBlock(s.opts.BlockRows, stride)
+	s.blocks = append(s.blocks, b)
+	return b
+}
+
+func (s *Store) evictLocked() {
+	if s.opts.MaxBlocks <= 0 {
+		return
+	}
+	for len(s.blocks) > s.opts.MaxBlocks {
+		s.evictedRows += s.blocks[0].n
+		s.evictedBlocks++
+		s.blocks = s.blocks[1:]
+	}
+}
+
+// Stats summarizes the store's shape and retention state.
+type Stats struct {
+	// Rows and Blocks count retained data; InsertedRows counts every
+	// Insert since New, so InsertedRows-Rows is the evicted history.
+	Rows, Blocks               int
+	InsertedRows               int
+	EvictedRows, EvictedBlocks int
+	// Nodes..MetricNames are dictionary cardinalities (these count
+	// every name ever seen, eviction does not shrink them).
+	Nodes, Cells, Scenarios, Chains, Causes, MetricNames int
+	// MinStart/MaxStart bound the retained records' start times; both
+	// zero when the store is empty.
+	MinStart, MaxStart sim.Time
+}
+
+// Stats returns current store statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Blocks:        len(s.blocks),
+		InsertedRows:  s.insertedRows,
+		EvictedRows:   s.evictedRows,
+		EvictedBlocks: s.evictedBlocks,
+		Nodes:         len(s.nodes.names),
+		Cells:         len(s.cells.names),
+		Scenarios:     len(s.scens.names),
+		Chains:        len(s.chains.names),
+		Causes:        len(s.causes.names),
+		MetricNames:   len(s.mnames.names),
+	}
+	first := true
+	for _, b := range s.blocks {
+		st.Rows += b.n
+		if b.n == 0 {
+			continue
+		}
+		if first || b.minStart < st.MinStart {
+			st.MinStart = b.minStart
+		}
+		if first || b.maxStart > st.MaxStart {
+			st.MaxStart = b.maxStart
+		}
+		first = false
+	}
+	return st
+}
+
+// Len returns the number of retained records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, b := range s.blocks {
+		n += b.n
+	}
+	return n
+}
+
+// NodeNames returns every fired-node name the store has seen, in
+// dictionary (first-seen) order.
+func (s *Store) NodeNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.nodes.names...)
+}
+
+// materialize rebuilds the Record stored at block b, row i. The
+// caller must hold at least the read lock.
+func (s *Store) materializeLocked(b *block, i int) Record {
+	rec := Record{
+		Session:  b.sessions[i],
+		Cell:     s.cells.name(b.cellIDs[i]),
+		Scenario: s.scens.name(b.scenIDs[i]),
+		Start:    b.starts[i],
+		End:      b.ends[i],
+	}
+	row := b.row(i)
+	for w, word := range row {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			rec.Fired = append(rec.Fired, s.nodes.name(uint32(w*64+bit)))
+			word &= word - 1
+		}
+	}
+	sort.Strings(rec.Fired)
+	for k := b.chainOff[i]; k < b.chainOff[i+1]; k++ {
+		rec.Chains = append(rec.Chains, ChainRuns{Chain: s.chains.name(b.chainIDs[k]), Runs: int(b.chainRuns[k])})
+	}
+	for k := b.causeOff[i]; k < b.causeOff[i+1]; k++ {
+		rec.Causes = append(rec.Causes, CauseRuns{Cause: s.causes.name(b.causeIDs[k]), Runs: int(b.causeRuns[k])})
+	}
+	for k := b.metricOff[i]; k < b.metricOff[i+1]; k++ {
+		rec.Metrics = append(rec.Metrics, Metric{Name: s.mnames.name(b.metricIDs[k]), Value: b.metricVals[k]})
+	}
+	return rec
+}
+
+// String renders store stats for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("rows=%d blocks=%d evicted=%d nodes=%d chains=%d causes=%d",
+		s.Rows, s.Blocks, s.EvictedRows, s.Nodes, s.Chains, s.Causes)
+}
