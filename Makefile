@@ -17,7 +17,7 @@ GO ?= go
 BENCH_GATE_PATTERN = BenchmarkStreamAnalyzer|BenchmarkScenarioTraceGen|BenchmarkEngine|BenchmarkCodec|BenchmarkWindowEval|BenchmarkIncrementalStep|BenchmarkDominodIngest|BenchmarkRCAStore
 BENCH_GATE_PKGS = . ./internal/sim ./internal/trace ./cmd/dominod ./internal/rcastore
 
-.PHONY: build vet fmt fmt-check test bench bench-json bench-diff dominod-smoke doclint mdcheck examples-check ci
+.PHONY: build vet fmt fmt-check test bench bench-json bench-diff dominod-smoke obs-smoke doclint mdcheck examples-check ci
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,13 @@ bench-diff:
 dominod-smoke:
 	$(GO) test ./cmd/dominod -run 'TestDominodSmoke' -count=1 -v
 
+# Observability smoke: boot dominod with the pprof listener, ingest a
+# generated session, validate /metrics through cmd/promlint, dump the
+# flight recording, and capture a CPU profile. Artifacts land in
+# obs-smoke/ (CI uploads them).
+obs-smoke:
+	sh scripts/obs_smoke.sh
+
 # Documentation gates — CI fails on doc drift like it fails on tests.
 # doclint: every package needs a package comment; every exported façade
 # symbol (root package) needs a doc comment. mdcheck: relative links in
@@ -86,4 +93,4 @@ examples-check:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 
-ci: build vet fmt-check test bench bench-diff dominod-smoke doclint mdcheck examples-check
+ci: build vet fmt-check test bench bench-diff dominod-smoke obs-smoke doclint mdcheck examples-check

@@ -8,18 +8,25 @@
 // Usage:
 //
 //	dominod [-addr :8077] [-graph chains.txt] [-max-streams 64]
-//	        [-lateness 0s] [-drop-late] [-v]
+//	        [-lateness 0s] [-drop-late] [-flightrec 1024]
+//	        [-debug-addr :6060] [-log-format text|json] [-v]
 //	dominod -stdin < call.jsonl
 //
 // Endpoints:
 //
-//	POST /ingest?session=ID   chunked JSONL body; analyzed as it arrives
-//	GET  /sessions            all sessions with live summary stats
-//	GET  /report/{id}         full report (live snapshot while active)
-//	GET  /query               longitudinal RCA-store queries (see below)
-//	GET  /incidents/similar   nearest prior incidents by fired-node signature
-//	GET  /metrics             aggregate counters, Prometheus text format
-//	GET  /healthz             readiness probe
+//	POST /ingest?session=ID        chunked JSONL body; analyzed as it arrives
+//	GET  /sessions                 all sessions with live summary stats
+//	GET  /report/{id}              full report (live snapshot while active)
+//	GET  /query                    longitudinal RCA-store queries (see below)
+//	GET  /incidents/similar        nearest prior incidents by fired-node signature
+//	GET  /metrics                  Prometheus text exposition (0.0.4, HELP/TYPE)
+//	GET  /debug/flightrec/{id}     pipeline flight recording, JSONL (?wall=0
+//	                               for the deterministic replay-diff view)
+//	GET  /healthz                  readiness probe + build identity
+//
+// -debug-addr serves net/http/pprof on a separate listener. Logging
+// goes through log/slog (-log-format json for structured output, -v
+// for per-session debug events).
 //
 // Session bodies are analyzed record-by-record as they upload, so a
 // live collector can keep one chunked POST open for the whole call and
@@ -55,7 +62,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -69,6 +76,7 @@ import (
 
 	"github.com/domino5g/domino"
 	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/obs"
 	"github.com/domino5g/domino/internal/parallel"
 	"github.com/domino5g/domino/internal/rcastore"
 	"github.com/domino5g/domino/internal/sim"
@@ -92,10 +100,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	storeBlocks := fs.Int("store-blocks", 4096, "retained RCA-store blocks of 256 reports each (0 = unbounded)")
 	storeSpill := fs.String("store-spill", "", "RCA-store spill file: loaded at startup if present, written at shutdown")
 	stdin := fs.Bool("stdin", false, "analyze one session from standard input and exit")
-	verbose := fs.Bool("v", false, "log per-session lifecycle events")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (disabled when empty)")
+	flightRec := fs.Int("flightrec", 1024, "per-session flight-recorder capacity in events (0 disables)")
+	verbose := fs.Bool("v", false, "log per-session lifecycle events (debug level)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: level})
+	case "json":
+		handler = slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: level})
+	default:
+		fmt.Fprintf(stderr, "dominod: bad -log-format %q (want text or json)\n", *logFormat)
+		return 2
+	}
+	logger := slog.New(handler)
 
 	graph := domino.DefaultGraph()
 	if *graphPath != "" {
@@ -124,8 +151,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Lateness:    sim.Time(*lateness / time.Microsecond),
 		DropLate:    *dropLate,
 		StoreBlocks: *storeBlocks,
-		Log:         log.New(stderr, "dominod: ", log.LstdFlags),
-		Verbose:     *verbose,
+		FlightRec:   *flightRec,
+		Log:         logger,
 	}
 	if *storeSpill != "" {
 		if f, err := os.Open(*storeSpill); err == nil {
@@ -152,7 +179,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	srv.log.Printf("listening on %s (%d stream slots, %d chains)", *addr, *maxStreams, len(analyzer.Chains()))
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: debugMux()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				srv.log.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		defer dbg.Close()
+		srv.log.Info("pprof enabled", "addr", *debugAddr)
+	}
+	srv.log.Info("listening", "addr", *addr, "stream_slots", *maxStreams, "chains", len(analyzer.Chains()))
 	select {
 	case err := <-errc:
 		fmt.Fprintln(stderr, "dominod:", err)
@@ -166,9 +203,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "dominod: spilling RCA store:", err)
 				return 1
 			}
-			srv.log.Printf("RCA store spilled to %s (%s)", *storeSpill, srv.store.Stats())
+			srv.log.Info("RCA store spilled", "path", *storeSpill, "stats", srv.store.Stats().String())
 		}
-		srv.log.Printf("shut down")
+		srv.log.Info("shut down")
 		return 0
 	}
 }
@@ -204,12 +241,14 @@ type serverOptions struct {
 	// Store, when non-nil, seeds the server with preloaded history (a
 	// reloaded spill). Otherwise an empty store is created.
 	Store *rcastore.Store
+	// FlightRec is the per-session flight-recorder capacity in events;
+	// 0 (the zero value) disables flight recording.
+	FlightRec int
 	// Now overrides the fleet clock (wall-clock microseconds) stamped
 	// onto persisted reports; nil selects time.Now. Tests inject a
 	// deterministic clock here.
-	Now     func() sim.Time
-	Log     *log.Logger
-	Verbose bool
+	Now func() sim.Time
+	Log *slog.Logger
 }
 
 // server multiplexes concurrent session streams over one shared
@@ -222,7 +261,11 @@ type server struct {
 	analyzer *core.Analyzer
 	limiter  *parallel.Limiter
 	opts     serverOptions
-	log      *log.Logger
+	log      *slog.Logger
+
+	// m holds the observability surface: the /metrics registry, its
+	// hot-path instruments, and the flight-recorder name table.
+	m *metrics
 
 	// store is the longitudinal fleet memory: every completed session's
 	// report is collapsed into it, so diagnosis outlives both the
@@ -238,13 +281,6 @@ type server struct {
 	nextSeq atomic.Int64 // global registration order
 	saPool  sync.Pool    // recycled *stream.Analyzer
 	recPool sync.Pool    // recycled *[]trace.Record ingest chunks
-
-	// Aggregate counters (/metrics).
-	recordsTotal, windowsTotal, lateDroppedTotal atomic.Int64
-	sessionsTotal, sessionsDone, sessionsFailed  atomic.Int64
-	chainEventsTotal                             atomic.Int64
-	nodeMu                                       sync.Mutex
-	nodeEventsTotal                              map[string]int64
 }
 
 // registryShards is the session-registry fan-out; a power of two so
@@ -281,33 +317,42 @@ type session struct {
 	stats  stream.Stats
 	hdr    trace.Header
 	hasHdr bool
+
+	// rec is the session's pipeline flight recorder (nil with
+	// -flightrec 0). It outlives the pooled analyzer so
+	// /debug/flightrec/{id} serves finished sessions too.
+	rec *obs.FlightRecorder
 }
 
 func newServer(analyzer *core.Analyzer, opts serverOptions) *server {
 	if opts.Log == nil {
-		opts.Log = log.New(io.Discard, "", 0)
+		opts.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &server{
 		analyzer:         analyzer,
 		limiter:          parallel.NewLimiter(opts.MaxStreams),
 		opts:             opts,
 		log:              opts.Log,
+		m:                newMetrics(analyzer),
 		store:            opts.Store,
 		now:              opts.Now,
 		causeClass:       map[string]bool{},
 		consequenceClass: map[string]bool{},
-		nodeEventsTotal:  map[string]int64{},
 	}
 	if s.store == nil {
 		s.store = rcastore.New(rcastore.Options{MaxBlocks: opts.StoreBlocks})
 	}
+	s.store.SetHooks(&storeHooks{m: s.m})
 	if s.now == nil {
 		s.now = func() sim.Time { return sim.Time(time.Now().UnixMicro()) }
 	}
 	for i := range s.shards {
 		s.shards[i].sessions = map[string]*session{}
 	}
-	s.saPool.New = func() any { return s.newStream() }
+	s.saPool.New = func() any {
+		s.m.poolMisses.Inc()
+		return s.newStream()
+	}
 	s.recPool.New = func() any {
 		buf := make([]trace.Record, 0, ingestChunk)
 		return &buf
@@ -318,6 +363,7 @@ func newServer(analyzer *core.Analyzer, opts serverOptions) *server {
 	for _, c := range domino.ConsequenceClasses() {
 		s.consequenceClass[c] = true
 	}
+	s.registerGauges()
 	return s
 }
 
@@ -339,30 +385,23 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /incidents/similar", s.handleSimilar)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /debug/flightrec/{id}", s.handleFlightRec)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
-// newStream builds one session's streaming analyzer wired into the
-// aggregate counters. Per-window results are not retained — the
-// service serves event-run statistics, so a session's report stays
-// bounded by its event runs however long the call lasts.
+// newStream builds one session's streaming analyzer. Pipeline counters
+// and flight-recorder events ride on obs.Hooks installed per session
+// at registration (see register), not on the analyzer itself — the
+// pooled analyzer clears its hooks on Reset. Per-window results are
+// not retained: the service serves event-run statistics, so a
+// session's report stays bounded by its event runs however long the
+// call lasts.
 func (s *server) newStream() *stream.Analyzer {
 	return stream.New(s.analyzer, stream.Config{
 		Lateness:    s.opts.Lateness,
 		DropLate:    s.opts.DropLate,
 		DropWindows: true,
-		OnWindow:    func(core.WindowResult) { s.windowsTotal.Add(1) },
-		OnNodeEvent: func(r core.EventRun) {
-			if s.causeClass[r.Node] || s.consequenceClass[r.Node] {
-				s.nodeMu.Lock()
-				s.nodeEventsTotal[r.Node]++
-				s.nodeMu.Unlock()
-			}
-		},
-		OnChainEvent: func(core.ChainRun) { s.chainEventsTotal.Add(1) },
 	})
 }
 
@@ -387,11 +426,16 @@ func (s *server) register(id string) (*session, string, bool) {
 		s.count.Add(-1)
 	}
 	sess := &session{id: id, seq: s.nextSeq.Add(1), state: "active", sa: s.saPool.Get().(*stream.Analyzer)}
+	s.m.poolGets.Inc()
+	if s.opts.FlightRec > 0 {
+		sess.rec = obs.NewFlightRecorder(s.opts.FlightRec, s.m.names)
+	}
+	sess.sa.SetHooks(&pipelineHooks{m: s.m, rec: sess.rec})
 	sh.sessions[id] = sess
 	sh.mu.Unlock()
 	s.count.Add(1)
 	s.evict()
-	s.sessionsTotal.Add(1)
+	s.m.sessionsTotal.Inc()
 	return sess, id, true
 }
 
@@ -425,6 +469,10 @@ func (s *server) evict() {
 		if sh.sessions[oldest.id] == oldest {
 			delete(sh.sessions, oldest.id)
 			s.count.Add(-1)
+			s.m.sessionsEvicted.Inc()
+			if oldest.rec != nil {
+				oldest.rec.Record(obs.Event{Kind: obs.EvSessionEvicted, Wall: time.Now().UnixNano()})
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -449,14 +497,14 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.limiter.Release()
-	if s.opts.Verbose {
-		s.log.Printf("session %s: ingest started", id)
-	}
+	s.log.Debug("ingest started", "session", id)
 
 	// Records are decoded into a pooled chunk buffer and pushed in
 	// batches: one session-lock acquisition (and one pass of window
 	// evaluations) per chunk instead of per record, while /report
-	// snapshots interleave between chunks.
+	// snapshots interleave between chunks. Each phase is timed into its
+	// latency histogram: decode covers the JSONL read, step covers the
+	// analyzer pushes (window evaluations included).
 	sr := trace.NewStreamReader(r.Body)
 	chunk := s.recPool.Get().(*[]trace.Record)
 	defer func() {
@@ -466,6 +514,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for {
 		*chunk = (*chunk)[:0]
 		var readErr error
+		decodeStart := time.Now()
 		for len(*chunk) < ingestChunk {
 			rec, err := sr.Next()
 			if err != nil {
@@ -474,7 +523,9 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 			*chunk = append(*chunk, rec)
 		}
+		s.m.decodeSeconds.Observe(time.Since(decodeStart).Seconds())
 		timed := 0
+		stepStart := time.Now()
 		sess.mu.Lock()
 		var pushErr error
 		for _, rec := range *chunk {
@@ -485,8 +536,17 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				timed++
 			}
 		}
+		if sess.rec != nil && len(*chunk) > 0 {
+			sess.rec.Record(obs.Event{
+				Kind: obs.EvIngestChunk,
+				Wall: time.Now().UnixNano(),
+				Sim:  int64(sess.sa.Watermark()),
+				N:    int64(len(*chunk)),
+			})
+		}
 		sess.mu.Unlock()
-		s.recordsTotal.Add(int64(timed))
+		s.m.stepSeconds.Observe(time.Since(stepStart).Seconds())
+		s.m.recordsTotal.Add(int64(timed))
 		if pushErr != nil {
 			s.fail(sess, pushErr.Error())
 			httpError(w, http.StatusBadRequest, pushErr.Error())
@@ -508,23 +568,33 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.detachLocked(sess, "failed", err.Error())
 		sess.mu.Unlock()
-		s.sessionsFailed.Add(1)
+		s.m.sessionsFailed.Inc()
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	sess.final = rep
 	s.detachLocked(sess, "done", "")
 	sess.mu.Unlock()
-	s.sessionsDone.Add(1)
-	s.lateDroppedTotal.Add(int64(stats.LateDropped))
+	s.m.sessionsDone.Inc()
+	s.m.lateDropped.Add(int64(stats.LateDropped))
 	// Persist the completed diagnosis into the fleet store, stamped so
 	// the session ends now and started a report-duration ago.
 	end := s.now()
+	insertStart := time.Now()
 	s.store.Insert(rcastore.FromReport(id, end-rep.Duration, rep))
-	if s.opts.Verbose {
-		s.log.Printf("session %s: done (%d records, %d windows, %d chain events)",
-			id, stats.Records, stats.Windows, rep.TotalChainEvents())
+	s.m.insertSeconds.Observe(time.Since(insertStart).Seconds())
+	if sess.rec != nil {
+		sess.rec.Record(obs.Event{
+			Kind: obs.EvReportStored,
+			Wall: time.Now().UnixNano(),
+			Sim:  int64(rep.Duration),
+			N:    int64(rep.TotalChainEvents()),
+		})
 	}
+	s.log.Debug("session done",
+		"session", id, "cell", rep.CellName, "scenario", rep.Scenario,
+		"records", stats.Records, "windows", stats.Windows,
+		"late_dropped", stats.LateDropped, "chain_events", rep.TotalChainEvents())
 	writeJSON(w, http.StatusOK, s.reportPayload(sess))
 }
 
@@ -554,10 +624,10 @@ func (s *server) fail(sess *session, msg string) {
 	sess.mu.Lock()
 	if sess.state == "active" {
 		s.detachLocked(sess, "failed", msg)
-		s.sessionsFailed.Add(1)
+		s.m.sessionsFailed.Inc()
 	}
 	sess.mu.Unlock()
-	s.log.Printf("session %s: failed: %s", sess.id, msg)
+	s.log.Warn("session failed", "session", sess.id, "err", msg)
 }
 
 // sessionInfo is the summary view served by /sessions and embedded in
@@ -810,54 +880,6 @@ func (s *server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		out = out[:k]
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"fired": fired, "matches": out})
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	active := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for _, sess := range sh.sessions {
-			sess.mu.Lock()
-			if sess.state == "active" {
-				active++
-			}
-			sess.mu.Unlock()
-		}
-		sh.mu.Unlock()
-	}
-
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "dominod_sessions_total %d\n", s.sessionsTotal.Load())
-	fmt.Fprintf(w, "dominod_sessions_active %d\n", active)
-	fmt.Fprintf(w, "dominod_sessions_done_total %d\n", s.sessionsDone.Load())
-	fmt.Fprintf(w, "dominod_sessions_failed_total %d\n", s.sessionsFailed.Load())
-	fmt.Fprintf(w, "dominod_stream_slots %d\n", s.limiter.Cap())
-	fmt.Fprintf(w, "dominod_stream_slots_in_use %d\n", s.limiter.InUse())
-	fmt.Fprintf(w, "dominod_records_total %d\n", s.recordsTotal.Load())
-	fmt.Fprintf(w, "dominod_windows_total %d\n", s.windowsTotal.Load())
-	fmt.Fprintf(w, "dominod_late_dropped_total %d\n", s.lateDroppedTotal.Load())
-	fmt.Fprintf(w, "dominod_chain_events_total %d\n", s.chainEventsTotal.Load())
-	st := s.store.Stats()
-	fmt.Fprintf(w, "dominod_rcastore_rows %d\n", st.Rows)
-	fmt.Fprintf(w, "dominod_rcastore_rows_inserted_total %d\n", st.InsertedRows)
-	fmt.Fprintf(w, "dominod_rcastore_rows_evicted_total %d\n", st.EvictedRows)
-	fmt.Fprintf(w, "dominod_rcastore_chains %d\n", st.Chains)
-
-	s.nodeMu.Lock()
-	nodes := make([]string, 0, len(s.nodeEventsTotal))
-	for n := range s.nodeEventsTotal {
-		nodes = append(nodes, n)
-	}
-	sort.Strings(nodes)
-	for _, n := range nodes {
-		class := "consequence"
-		if s.causeClass[n] {
-			class = "cause"
-		}
-		fmt.Fprintf(w, "dominod_node_events_total{node=%q,class=%q} %d\n", n, class, s.nodeEventsTotal[n])
-	}
-	s.nodeMu.Unlock()
 }
 
 // runStdin analyzes a single session from standard input through the

@@ -1,0 +1,285 @@
+package main
+
+// This file is dominod's observability surface: the obs.Registry
+// instruments behind /metrics (spec-valid Prometheus text exposition),
+// the per-session pipeline flight recorder behind
+// /debug/flightrec/{id}, the obs.Hooks implementations that feed both
+// from the stream/core/rcastore seams, and the /healthz build-info
+// payload. Everything on the ingest hot path — counters, histogram
+// observations, flight-recorder writes — is allocation-free; scrape-
+// time work (snapshotting, GaugeFunc scans) happens only when /metrics
+// is read.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"github.com/domino5g/domino"
+	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/obs"
+)
+
+// metrics bundles dominod's registry and the instruments bumped on hot
+// paths. Scrape-time instruments (GaugeFunc/CounterFunc closures over
+// server state) are registered by newServer, which owns that state.
+type metrics struct {
+	reg *obs.Registry
+	// names interns every causal-graph node name and chain signature so
+	// flight-recorder slots stay pointer-free; frozen after newMetrics.
+	names *obs.NameTable
+
+	sessionsTotal   *obs.Counter
+	sessionsDone    *obs.Counter
+	sessionsFailed  *obs.Counter
+	sessionsEvicted *obs.Counter
+	recordsTotal    *obs.Counter
+	windowsTotal    *obs.Counter
+	lateDropped     *obs.Counter
+	chainEvents     *obs.Counter
+	// nodeEvents maps cause/consequence class nodes to their labeled
+	// counter; read-only after newMetrics, so hook lookups are lock-free.
+	nodeEvents map[string]*obs.Counter
+
+	poolGets   *obs.Counter
+	poolMisses *obs.Counter
+
+	storeQueries *obs.Counter
+	storeSpills  *obs.Counter
+
+	decodeSeconds *obs.Histogram
+	stepSeconds   *obs.Histogram
+	insertSeconds *obs.Histogram
+}
+
+// newMetrics registers every statically-known instrument. The metric
+// names predate this registry (operators may already scrape them), so
+// they are pinned by TestDominodSmoke and must not change.
+func newMetrics(analyzer *core.Analyzer) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:   reg,
+		names: obs.NewNameTable(),
+
+		sessionsTotal:   reg.Counter("dominod_sessions_total", "Sessions registered since start."),
+		sessionsDone:    reg.Counter("dominod_sessions_done_total", "Sessions completed successfully."),
+		sessionsFailed:  reg.Counter("dominod_sessions_failed_total", "Sessions that failed during ingest."),
+		sessionsEvicted: reg.Counter("dominod_sessions_evicted_total", "Finished sessions evicted from the registry."),
+		recordsTotal:    reg.Counter("dominod_records_total", "Trace records accepted across all sessions."),
+		windowsTotal:    reg.Counter("dominod_windows_total", "Detection windows evaluated."),
+		lateDropped:     reg.Counter("dominod_late_dropped_total", "Records dropped for arriving after their window closed."),
+		chainEvents:     reg.Counter("dominod_chain_events_total", "Collapsed causal-chain event runs."),
+		nodeEvents:      map[string]*obs.Counter{},
+
+		poolGets:   reg.Counter("dominod_analyzer_pool_gets_total", "Analyzer checkouts from the session pool."),
+		poolMisses: reg.Counter("dominod_analyzer_pool_misses_total", "Analyzer checkouts that had to allocate a new analyzer."),
+
+		storeQueries: reg.Counter("dominod_rcastore_queries_total", "RCA-store query evaluations."),
+		storeSpills:  reg.Counter("dominod_rcastore_spills_total", "RCA-store spill writes."),
+
+		decodeSeconds: reg.Histogram("dominod_ingest_decode_seconds", "Wall time decoding one ingest chunk from JSONL.", nil),
+		stepSeconds:   reg.Histogram("dominod_ingest_step_seconds", "Wall time pushing one decoded chunk through the analyzer.", nil),
+		insertSeconds: reg.Histogram("dominod_store_insert_seconds", "Wall time inserting one completed report into the RCA store.", nil),
+	}
+
+	// One labeled series per cause/consequence class node, registered up
+	// front so scrapes see the full universe at zero and hook-time
+	// lookups never mutate the map.
+	for _, n := range domino.CauseClasses() {
+		m.nodeEvents[n] = reg.Counter("dominod_node_events_total",
+			"Collapsed node event runs by causal-graph node.", obs.L("node", n), obs.L("class", "cause"))
+	}
+	for _, n := range domino.ConsequenceClasses() {
+		m.nodeEvents[n] = reg.Counter("dominod_node_events_total",
+			"Collapsed node event runs by causal-graph node.", obs.L("node", n), obs.L("class", "consequence"))
+	}
+
+	// Intern the flight-recorder name universe: every graph node and
+	// every chain signature the analyzer can emit.
+	for _, n := range analyzer.Graph().Nodes() {
+		m.names.Intern(n)
+	}
+	for _, c := range analyzer.Chains() {
+		m.names.Intern(c.String())
+	}
+
+	version, goVersion := buildInfo()
+	reg.Gauge("domino_build_info",
+		"Build metadata; always 1. Version and Go toolchain ride in the labels.",
+		obs.L("version", version), obs.L("go_version", goVersion)).Set(1)
+	return m
+}
+
+// buildInfo reports the main module version and Go toolchain from the
+// binary's embedded build information.
+func buildInfo() (version, goVersion string) {
+	version, goVersion = "unknown", runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return version, goVersion
+}
+
+// pipelineHooks is the per-session obs.Hooks implementation installed
+// on the pooled stream analyzer: every pipeline stage event bumps the
+// shared registry counters and (when enabled) lands in the session's
+// flight recorder. All methods run under the session lock (single
+// writer) and allocate nothing.
+type pipelineHooks struct {
+	obs.NopHooks
+	m   *metrics
+	rec *obs.FlightRecorder // nil when -flightrec 0
+}
+
+func (h *pipelineHooks) record(ev obs.Event) {
+	if h.rec != nil {
+		ev.Wall = time.Now().UnixNano()
+		h.rec.Record(ev)
+	}
+}
+
+// WindowEvaluated implements obs.Hooks.
+func (h *pipelineHooks) WindowEvaluated(start, end int64) {
+	h.m.windowsTotal.Inc()
+	h.record(obs.Event{Kind: obs.EvWindowEvaluated, Sim: end})
+}
+
+// NodeFired implements obs.Hooks.
+func (h *pipelineHooks) NodeFired(node string, at int64) {
+	h.record(obs.Event{Kind: obs.EvNodeFired, Sim: at, NameID: h.m.names.ID(node)})
+}
+
+// NodeRunClosed implements obs.Hooks.
+func (h *pipelineHooks) NodeRunClosed(node string, start, end int64, windows int) {
+	if c := h.m.nodeEvents[node]; c != nil {
+		c.Inc()
+	}
+	h.record(obs.Event{Kind: obs.EvNodeRunClosed, Sim: end, NameID: h.m.names.ID(node), N: int64(windows)})
+}
+
+// ChainRunOpened implements obs.Hooks.
+func (h *pipelineHooks) ChainRunOpened(chain string, at int64) {
+	h.record(obs.Event{Kind: obs.EvChainRunOpened, Sim: at, NameID: h.m.names.ID(chain)})
+}
+
+// ChainRunClosed implements obs.Hooks.
+func (h *pipelineHooks) ChainRunClosed(chain string, start, end int64, windows int) {
+	h.m.chainEvents.Inc()
+	h.record(obs.Event{Kind: obs.EvChainRunClosed, Sim: end, NameID: h.m.names.ID(chain), N: int64(windows)})
+}
+
+// storeHooks feeds RCA-store lifecycle events into the registry. It is
+// installed on the (possibly spill-reloaded) store by newServer.
+type storeHooks struct {
+	obs.NopHooks
+	m *metrics
+}
+
+// StoreQueried implements obs.Hooks.
+func (h *storeHooks) StoreQueried() { h.m.storeQueries.Inc() }
+
+// StoreSpilled implements obs.Hooks.
+func (h *storeHooks) StoreSpilled(rows int) { h.m.storeSpills.Inc() }
+
+// registerGauges wires the scrape-time instruments that read live
+// server state: session/shard occupancy, admission-limiter slots, RCA
+// store shape, and the analyzer-pool hit ratio.
+func (s *server) registerGauges() {
+	reg := s.m.reg
+	reg.GaugeFunc("dominod_sessions_active", "Sessions currently ingesting.", func() float64 {
+		active := 0
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			for _, sess := range sh.sessions {
+				if !sess.finished.Load() {
+					active++
+				}
+			}
+			sh.mu.Unlock()
+		}
+		return float64(active)
+	})
+	reg.GaugeFunc("dominod_stream_slots", "Configured concurrent ingest capacity.",
+		func() float64 { return float64(s.limiter.Cap()) })
+	reg.GaugeFunc("dominod_stream_slots_in_use", "Ingest slots currently held.",
+		func() float64 { return float64(s.limiter.InUse()) })
+	reg.GaugeFunc("dominod_rcastore_rows", "Rows retained in the RCA store.",
+		func() float64 { return float64(s.store.Stats().Rows) })
+	reg.GaugeFunc("dominod_rcastore_chains", "Distinct chain signatures the RCA store has seen.",
+		func() float64 { return float64(s.store.Stats().Chains) })
+	reg.CounterFunc("dominod_rcastore_rows_inserted_total", "Rows ever inserted into the RCA store.",
+		func() float64 { return float64(s.store.Stats().InsertedRows) })
+	reg.CounterFunc("dominod_rcastore_rows_evicted_total", "Rows evicted from the RCA store by retention.",
+		func() float64 { return float64(s.store.Stats().EvictedRows) })
+	reg.GaugeFunc("dominod_analyzer_pool_hit_ratio", "Fraction of analyzer checkouts served from the pool.", func() float64 {
+		gets := s.m.poolGets.Value()
+		if gets == 0 {
+			return 0
+		}
+		return 1 - float64(s.m.poolMisses.Value())/float64(gets)
+	})
+	for i := range s.shards {
+		sh := &s.shards[i]
+		reg.GaugeFunc("dominod_shard_sessions", "Sessions registered per registry shard.", func() float64 {
+			sh.mu.Lock()
+			n := len(sh.sessions)
+			sh.mu.Unlock()
+			return float64(n)
+		}, obs.L("shard", fmt.Sprintf("%d", i)))
+	}
+}
+
+// handleMetrics serves the registry as Prometheus text exposition
+// (format 0.0.4, with # HELP/# TYPE metadata). The output always
+// passes internal/obs.Lint — pinned by TestMetricsExposition and CI's
+// curl smoke.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.m.reg.Snapshot().WriteText(w)
+}
+
+// handleHealthz serves readiness plus the build identity surfaced in
+// domino_build_info.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	version, goVersion := buildInfo()
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":     "ok",
+		"version":    version,
+		"go_version": goVersion,
+	})
+}
+
+// handleFlightRec dumps a session's flight recorder as JSONL, oldest
+// event first. ?wall=0 omits the wall-clock column, leaving only the
+// deterministic fields — the replay-diff view.
+func (s *server) handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	if sess.rec == nil {
+		httpError(w, http.StatusNotFound, "flight recorder disabled (-flightrec 0)")
+		return
+	}
+	withWall := r.URL.Query().Get("wall") != "0"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = sess.rec.WriteJSONL(w, withWall)
+}
+
+// debugMux serves net/http/pprof on the -debug-addr listener, kept off
+// the public mux so profiling exposure is an explicit deployment
+// choice.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

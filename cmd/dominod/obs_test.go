@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/domino5g/domino/internal/obs"
+	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// TestMetricsExposition pins the /metrics contract: the output is
+// spec-valid Prometheus text exposition (HELP/TYPE metadata, counters
+// suffixed _total, well-formed histograms) as checked by the same
+// linter the CI smoke runs, and it carries the build-info and
+// per-shard series.
+func TestMetricsExposition(t *testing.T) {
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 2, FlightRec: 1024})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		_, body := sessionTrace(t, ran.Amarisoft(), uint64(60+i), 8*sim.Second)
+		resp, err := http.Post(fmt.Sprintf("%s/ingest?session=m%d", ts.URL, i), "application/jsonl", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest m%d: %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type %q, want text exposition 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errs, stats := obs.Lint(bytes.NewReader(body))
+	for _, e := range errs {
+		t.Errorf("exposition: %v", e)
+	}
+	if t.Failed() {
+		t.Fatalf("full scrape:\n%s", body)
+	}
+	if stats.Samples == 0 || stats.Families == 0 {
+		t.Fatalf("lint saw %d families / %d samples", stats.Families, stats.Samples)
+	}
+
+	text := string(body)
+	for _, want := range []string{
+		"# HELP dominod_sessions_total ",
+		"# TYPE dominod_sessions_total counter",
+		"# TYPE dominod_ingest_decode_seconds histogram",
+		"dominod_ingest_step_seconds_bucket{le=\"+Inf\"}",
+		"dominod_sessions_done_total 2",
+		"dominod_node_events_total{node=",
+		"dominod_shard_sessions{shard=\"0\"}",
+		"domino_build_info{version=",
+		fmt.Sprintf("go_version=%q", runtime.Version()),
+		"dominod_analyzer_pool_hit_ratio ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestFlightRecorderDeterminism pins the flight-recorder replay-diff
+// contract: two fresh servers fed the same fixed-seed session body
+// produce byte-identical /debug/flightrec dumps once wall-clock
+// timestamps are excluded (?wall=0). Everything else in an event —
+// sequence, kind, sim time, name, count — is a pure function of the
+// input stream.
+func TestFlightRecorderDeterminism(t *testing.T) {
+	const fleetNow = sim.Time(1_700_000_000_000_000)
+	_, body := sessionTrace(t, ran.Amarisoft(), 40, 10*sim.Second)
+
+	dump := func() string {
+		srv := newServer(testAnalyzer(t), serverOptions{
+			MaxStreams: 2, FlightRec: 4096,
+			Now: func() sim.Time { return fleetNow },
+		})
+		ts := httptest.NewServer(srv.routes())
+		defer ts.Close()
+		resp, err := http.Post(ts.URL+"/ingest?session=det", "application/jsonl", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest: %d", resp.StatusCode)
+		}
+		resp, err = http.Get(ts.URL + "/debug/flightrec/det?wall=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("flightrec: %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("Content-Type %q", ct)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	first, second := dump(), dump()
+	if first != second {
+		t.Fatalf("flight-recorder dumps diverge across identical runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	for _, kind := range []string{
+		`"kind":"ingest_chunk"`, `"kind":"window_evaluated"`,
+		`"kind":"node_fired"`, `"kind":"chain_run_closed"`, `"kind":"report_stored"`,
+	} {
+		if !strings.Contains(first, kind) {
+			t.Fatalf("dump missing %s:\n%s", kind, first)
+		}
+	}
+	if strings.Contains(first, `"wall_ns"`) {
+		t.Fatal("?wall=0 dump still carries wall_ns")
+	}
+}
+
+// TestFlightRecEndpointEdges covers the non-happy flight-recorder
+// paths: the default dump carries wall clocks, unknown sessions 404,
+// and a server with -flightrec 0 reports the recorder disabled.
+func TestFlightRecEndpointEdges(t *testing.T) {
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 2, FlightRec: 256})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	_, body := sessionTrace(t, ran.Mosolabs(), 9, 6*sim.Second)
+	resp, err := http.Post(ts.URL+"/ingest?session=w", "application/jsonl", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/debug/flightrec/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), `"wall_ns":`) {
+		t.Fatalf("default dump has no wall_ns:\n%s", b)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/flightrec/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: %d, want 404", resp.StatusCode)
+	}
+
+	off := newServer(testAnalyzer(t), serverOptions{MaxStreams: 2})
+	tsOff := httptest.NewServer(off.routes())
+	defer tsOff.Close()
+	resp, err = http.Post(tsOff.URL+"/ingest?session=w", "application/jsonl", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(tsOff.URL + "/debug/flightrec/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(b), "disabled") {
+		t.Fatalf("disabled recorder: %d %s", resp.StatusCode, b)
+	}
+}
+
+// TestHealthzBuildInfo pins the /healthz payload: readiness plus the
+// same build identity surfaced by domino_build_info.
+func TestHealthzBuildInfo(t *testing.T) {
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 1})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	var hz struct {
+		Status    string `json:"status"`
+		Version   string `json:"version"`
+		GoVersion string `json:"go_version"`
+	}
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "ok" {
+		t.Fatalf("status %q", hz.Status)
+	}
+	if hz.Version == "" {
+		t.Fatal("empty version")
+	}
+	if hz.GoVersion != runtime.Version() {
+		t.Fatalf("go_version %q, want %q", hz.GoVersion, runtime.Version())
+	}
+}

@@ -51,6 +51,7 @@ type compiledGraph struct {
 	consequences []int         // consequence node IDs, stable order
 	chainNodes   [][]int32     // per chain (ID-1): node IDs on the path
 	chainCauseID []int32       // per chain: index into causes
+	chainSigs    []string      // per chain: Chain.String(), precomputed
 	causes       []string      // distinct chain causes, ascending
 }
 
@@ -111,6 +112,7 @@ func compileGraph(g *Graph, chains []Chain) compiledGraph {
 		}
 		cg.chainNodes = append(cg.chainNodes, ids)
 		cg.chainCauseID = append(cg.chainCauseID, int32(causeID[c.Cause()]))
+		cg.chainSigs = append(cg.chainSigs, c.String())
 	}
 	return cg
 }

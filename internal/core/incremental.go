@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/domino5g/domino/internal/obs"
 	"github.com/domino5g/domino/internal/sim"
 	"github.com/domino5g/domino/internal/trace"
 )
@@ -102,6 +103,7 @@ type Incremental struct {
 	a           *Analyzer
 	rep         *Report
 	keepWindows bool
+	hooks       obs.Hooks
 
 	// Per-session scratch, sized to the compiled graph and reused
 	// across steps (and across sessions via Reset).
@@ -138,6 +140,7 @@ func (a *Analyzer) NewIncremental(cellName string) *Incremental {
 func (inc *Incremental) Reset(cellName string) {
 	inc.rep = inc.a.newReport(cellName)
 	inc.keepWindows = true
+	inc.hooks = nil
 	for i := range inc.openNodeSet {
 		inc.openNodeSet[i] = false
 	}
@@ -164,6 +167,12 @@ func (inc *Incremental) SetKeepWindows(keep bool) { inc.keepWindows = keep }
 // SetScenario labels the report under construction with the name of
 // the scenario that generated the session's trace.
 func (inc *Incremental) SetScenario(name string) { inc.rep.Scenario = name }
+
+// SetHooks installs observability hooks fired on node/chain run
+// transitions (nil disables them, the default). Hook calls receive the
+// precompiled node names and chain signatures, so an allocation-free
+// Hooks implementation keeps Step allocation-free.
+func (inc *Incremental) SetHooks(h obs.Hooks) { inc.hooks = h }
 
 // Step consumes the feature vector of the next window position and
 // returns its WindowResult together with the node and chain runs that
@@ -224,12 +233,18 @@ func (inc *Incremental) Step(v FeatureVector) (WindowResult, []EventRun, []Chain
 			} else {
 				inc.openNodeSet[nid] = true
 				inc.openNode[nid] = EventRun{Node: name, Start: v.Start, End: v.End, Windows: 1}
+				if inc.hooks != nil {
+					inc.hooks.NodeFired(name, int64(v.Start))
+				}
 			}
 		} else if inc.openNodeSet[nid] {
 			run := inc.openNode[nid]
 			rep.NodeEvents[name] = append(rep.NodeEvents[name], run)
 			closedNodes = append(closedNodes, run)
 			inc.openNodeSet[nid] = false
+			if inc.hooks != nil {
+				inc.hooks.NodeRunClosed(name, int64(run.Start), int64(run.End), run.Windows)
+			}
 		}
 	}
 	// Update chain runs.
@@ -242,12 +257,18 @@ func (inc *Incremental) Step(v FeatureVector) (WindowResult, []EventRun, []Chain
 			} else {
 				inc.openChainSet[ci] = true
 				inc.openChain[ci] = ChainRun{Chain: inc.a.chains[ci], Start: v.Start, End: v.End, Windows: 1}
+				if inc.hooks != nil {
+					inc.hooks.ChainRunOpened(cg.chainSigs[ci], int64(v.Start))
+				}
 			}
 		} else if inc.openChainSet[ci] {
 			run := inc.openChain[ci]
 			rep.ChainEvents[ci+1] = append(rep.ChainEvents[ci+1], run)
 			closedChains = append(closedChains, run)
 			inc.openChainSet[ci] = false
+			if inc.hooks != nil {
+				inc.hooks.ChainRunClosed(cg.chainSigs[ci], int64(run.Start), int64(run.End), run.Windows)
+			}
 		}
 	}
 	return wr, closedNodes, closedChains
@@ -267,6 +288,9 @@ func (inc *Incremental) Finish(duration sim.Time) (*Report, []EventRun, []ChainR
 			rep.NodeEvents[name] = append(rep.NodeEvents[name], run)
 			closedNodes = append(closedNodes, run)
 			inc.openNodeSet[nid] = false
+			if inc.hooks != nil {
+				inc.hooks.NodeRunClosed(name, int64(run.Start), int64(run.End), run.Windows)
+			}
 		}
 	}
 	var closedChains []ChainRun
@@ -276,6 +300,9 @@ func (inc *Incremental) Finish(duration sim.Time) (*Report, []EventRun, []ChainR
 			rep.ChainEvents[ci+1] = append(rep.ChainEvents[ci+1], run)
 			closedChains = append(closedChains, run)
 			inc.openChainSet[ci] = false
+			if inc.hooks != nil {
+				inc.hooks.ChainRunClosed(cg.chainSigs[ci], int64(run.Start), int64(run.End), run.Windows)
+			}
 		}
 	}
 	return rep, closedNodes, closedChains

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRetainsNewest(t *testing.T) {
+	r := NewFlightRecorder(10, nil) // rounds up to 16
+	if r.Cap() != 16 {
+		t.Fatalf("cap = %d, want 16", r.Cap())
+	}
+	for i := 0; i < 40; i++ {
+		r.Record(Event{Kind: EvWindowEvaluated, Sim: int64(i)})
+	}
+	if r.Total() != 40 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want 16", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(24 + i); ev.Sim != want {
+			t.Fatalf("event %d: sim %d, want %d (oldest-first, newest 16)", i, ev.Sim, want)
+		}
+	}
+}
+
+func TestFlightRecorderJSONL(t *testing.T) {
+	names := NewNameTable()
+	quoted := names.Intern(`q"uote`)
+	r := NewFlightRecorder(16, names)
+	r.Record(Event{Kind: EvIngestChunk, Wall: 12345, Sim: 1000, N: 256})
+	r.Record(Event{Kind: EvNodeFired, Wall: 12346, Sim: 2000, NameID: quoted})
+	r.Record(Event{Kind: EvSessionEvicted, Wall: 12347})
+
+	var withWall, noWall strings.Builder
+	if err := r.WriteJSONL(&withWall, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSONL(&noWall, false); err != nil {
+		t.Fatal(err)
+	}
+	wantWall := `{"seq":0,"kind":"ingest_chunk","wall_ns":12345,"sim_us":1000,"n":256}
+{"seq":1,"kind":"node_fired","wall_ns":12346,"sim_us":2000,"name":"q\"uote"}
+{"seq":2,"kind":"session_evicted","wall_ns":12347,"sim_us":0}
+`
+	if withWall.String() != wantWall {
+		t.Fatalf("with wall:\n%s\nwant:\n%s", withWall.String(), wantWall)
+	}
+	if strings.Contains(noWall.String(), "wall_ns") {
+		t.Fatalf("wall-excluded dump still carries wall_ns:\n%s", noWall.String())
+	}
+	if !strings.Contains(noWall.String(), `{"seq":1,"kind":"node_fired","sim_us":2000,"name":"q\"uote"}`) {
+		t.Fatalf("wall-excluded dump malformed:\n%s", noWall.String())
+	}
+}
+
+func TestFlightRecorderReset(t *testing.T) {
+	r := NewFlightRecorder(16, nil)
+	r.Record(Event{Kind: EvReportStored, Sim: 5})
+	r.Reset()
+	if r.Total() != 0 || len(r.Events()) != 0 {
+		t.Fatalf("reset recorder not empty: total=%d events=%d", r.Total(), len(r.Events()))
+	}
+	r.Record(Event{Kind: EvWindowEvaluated, Sim: 9})
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Sim != 9 {
+		t.Fatalf("post-reset events = %+v", evs)
+	}
+}
+
+// TestFlightRecorderConcurrentDump races one writer against dump
+// readers (run under -race in CI): dumps must return only fully
+// published events, never torn ones.
+func TestFlightRecorderConcurrentDump(t *testing.T) {
+	r := NewFlightRecorder(32, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Record(Event{Kind: EvWindowEvaluated, Sim: i, N: i * 2})
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		for _, ev := range r.Events() {
+			if ev.Kind != EvWindowEvaluated || ev.N != ev.Sim*2 {
+				t.Errorf("torn event: %+v", ev)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,71 @@
+package obs
+
+// Hooks is the seam the pipeline's hot layers publish stage events
+// through: internal/core fires the node/chain run transitions,
+// internal/stream the window evaluations, internal/rcastore the store
+// lifecycle. Every publishing site is nil-guarded, so a layer with no
+// hooks installed pays one predictable branch and nothing else — the
+// zero-alloc benchmark numbers are unchanged when observability is
+// disabled, and implementations are expected to stay allocation-free
+// so they remain unchanged when it is enabled (cmd/dominod's
+// implementation records into a FlightRecorder and bumps registry
+// counters, both zero-alloc).
+//
+// Times are sim.Time microseconds as int64 — obs sits below
+// internal/sim and keeps its stdlib-only dependency rule.
+//
+// Implementations embed NopHooks and override what they observe.
+type Hooks interface {
+	// WindowEvaluated fires after each detection window [start, end)
+	// is evaluated and stepped through the incremental engine.
+	WindowEvaluated(start, end int64)
+	// NodeFired fires when a causal-graph node's event run opens.
+	NodeFired(node string, at int64)
+	// NodeRunClosed fires when a node's event run closes after
+	// `windows` consecutive windows.
+	NodeRunClosed(node string, start, end int64, windows int)
+	// ChainRunOpened fires when a causal chain matches, opening a run.
+	// chain is the chain's DSL signature ("cause --> ... --> consequence").
+	ChainRunOpened(chain string, at int64)
+	// ChainRunClosed fires when a chain run closes.
+	ChainRunClosed(chain string, start, end int64, windows int)
+	// StoreInserted fires after rows are inserted into the RCA store.
+	StoreInserted(rows int)
+	// StoreEvicted fires when retention evicts rows from the RCA store.
+	StoreEvicted(rows int)
+	// StoreQueried fires once per RCA-store query evaluation.
+	StoreQueried()
+	// StoreSpilled fires after a spill write, with the rows written.
+	StoreSpilled(rows int)
+}
+
+// NopHooks implements Hooks with no-ops; embed it to implement only
+// the events a layer observes.
+type NopHooks struct{}
+
+// WindowEvaluated implements Hooks.
+func (NopHooks) WindowEvaluated(start, end int64) {}
+
+// NodeFired implements Hooks.
+func (NopHooks) NodeFired(node string, at int64) {}
+
+// NodeRunClosed implements Hooks.
+func (NopHooks) NodeRunClosed(node string, start, end int64, windows int) {}
+
+// ChainRunOpened implements Hooks.
+func (NopHooks) ChainRunOpened(chain string, at int64) {}
+
+// ChainRunClosed implements Hooks.
+func (NopHooks) ChainRunClosed(chain string, start, end int64, windows int) {}
+
+// StoreInserted implements Hooks.
+func (NopHooks) StoreInserted(rows int) {}
+
+// StoreEvicted implements Hooks.
+func (NopHooks) StoreEvicted(rows int) {}
+
+// StoreQueried implements Hooks.
+func (NopHooks) StoreQueried() {}
+
+// StoreSpilled implements Hooks.
+func (NopHooks) StoreSpilled(rows int) {}

@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file is the Prometheus text-exposition validator: the format
+// contract for every /metrics surface in the repo. The unit tests run
+// dominod's output through it, cmd/promlint exposes it to CI's curl
+// smoke, and Snapshot.WriteText promises to satisfy it.
+
+// LintStats summarizes a validated exposition document.
+type LintStats struct {
+	Families int
+	Samples  int
+}
+
+// lintFamily tracks one family's declared metadata and running
+// histogram state while linting.
+type lintFamily struct {
+	name      string
+	help, typ string
+	closed    bool // a later family started; no more samples allowed
+	samples   int
+	// per non-le label signature: previous le and cumulative count, and
+	// whether the +Inf bucket was seen.
+	hist map[string]*lintHist
+}
+
+type lintHist struct {
+	lastLE    float64
+	lastCount float64
+	haveInf   bool
+	infCount  float64
+	sawCount  bool
+	countVal  float64
+}
+
+// Lint validates a Prometheus text-exposition document against the
+// format rules this repo holds every /metrics endpoint to:
+//
+//   - every sample belongs to a family declared by # HELP and # TYPE
+//     lines that precede it, and one family's samples are contiguous;
+//   - metric and label names are well-formed, label values use only
+//     the \\, \", \n escapes, values parse as Go floats;
+//   - counter families are named *_total;
+//   - histogram buckets carry le labels that strictly ascend per
+//     series with nondecreasing cumulative counts, end at +Inf, and
+//     agree with the series' _count sample.
+//
+// It returns the accumulated problems (empty means valid) plus
+// document statistics.
+func Lint(r io.Reader) ([]error, LintStats) {
+	var errs []error
+	var stats LintStats
+	fams := map[string]*lintFamily{}
+	var current *lintFamily
+	addErr := func(line int, format string, a ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, a...)))
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseMetaLine(line)
+			if !ok {
+				continue // plain comment
+			}
+			f := fams[name]
+			if f == nil {
+				f = &lintFamily{name: name, hist: map[string]*lintHist{}}
+				fams[name] = f
+				stats.Families++
+			}
+			if !nameOK(name) {
+				addErr(lineNo, "invalid metric name %q", name)
+			}
+			switch kind {
+			case "HELP":
+				if f.help != "" {
+					addErr(lineNo, "duplicate HELP for %q", name)
+				}
+				if rest == "" {
+					addErr(lineNo, "empty HELP text for %q", name)
+				}
+				f.help = rest
+			case "TYPE":
+				if f.typ != "" {
+					addErr(lineNo, "duplicate TYPE for %q", name)
+				}
+				if f.samples > 0 {
+					addErr(lineNo, "TYPE for %q after its samples", name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addErr(lineNo, "unknown TYPE %q for %q", rest, name)
+				}
+				if rest == "counter" && !strings.HasSuffix(name, "_total") {
+					addErr(lineNo, "counter %q must be named *_total", name)
+				}
+				f.typ = rest
+			}
+			continue
+		}
+
+		name, labels, valStr, perr := parseSampleLine(line)
+		if perr != nil {
+			addErr(lineNo, "%v", perr)
+			continue
+		}
+		stats.Samples++
+		famName, suffix := familyOf(name, fams)
+		f := fams[famName]
+		if f == nil || f.typ == "" || f.help == "" {
+			addErr(lineNo, "sample %q before # HELP and # TYPE for %q", name, famName)
+			continue
+		}
+		if f.closed {
+			addErr(lineNo, "samples for %q not contiguous", famName)
+		}
+		if current != nil && current != f {
+			current.closed = true
+		}
+		current = f
+		f.samples++
+
+		seen := map[string]bool{}
+		le := ""
+		var nonLE strings.Builder
+		for _, l := range labels {
+			if !nameOK(l.Key) || strings.Contains(l.Key, ":") {
+				addErr(lineNo, "invalid label name %q", l.Key)
+			}
+			if seen[l.Key] {
+				addErr(lineNo, "duplicate label %q", l.Key)
+			}
+			seen[l.Key] = true
+			if l.Key == "le" {
+				le = l.Value
+			} else {
+				nonLE.WriteString(l.Key)
+				nonLE.WriteByte('=')
+				nonLE.WriteString(strconv.Quote(l.Value))
+				nonLE.WriteByte(',')
+			}
+		}
+		val, verr := strconv.ParseFloat(valStr, 64)
+		if verr != nil {
+			addErr(lineNo, "bad value %q", valStr)
+			continue
+		}
+
+		switch f.typ {
+		case "histogram":
+			h := f.hist[nonLE.String()]
+			if h == nil {
+				h = &lintHist{lastLE: math.Inf(-1)}
+				f.hist[nonLE.String()] = h
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					addErr(lineNo, "%s_bucket without le label", famName)
+					break
+				}
+				bound, berr := strconv.ParseFloat(le, 64)
+				if berr != nil {
+					addErr(lineNo, "bad le %q", le)
+					break
+				}
+				if bound <= h.lastLE {
+					addErr(lineNo, "%s buckets out of order: le=%q after le=%v", famName, le, h.lastLE)
+				}
+				if val < h.lastCount {
+					addErr(lineNo, "%s bucket counts not cumulative at le=%q", famName, le)
+				}
+				h.lastLE, h.lastCount = bound, val
+				if math.IsInf(bound, 1) {
+					h.haveInf, h.infCount = true, val
+				}
+			case "_sum":
+			case "_count":
+				h.sawCount, h.countVal = true, val
+			case "":
+				addErr(lineNo, "histogram %q sample without _bucket/_sum/_count suffix", famName)
+			}
+		case "counter":
+			if suffix != "" {
+				addErr(lineNo, "counter family %q has suffixed sample %q", famName, name)
+			}
+			if val < 0 {
+				addErr(lineNo, "counter %q is negative", name)
+			}
+		default:
+			if suffix != "" {
+				addErr(lineNo, "%s family %q has suffixed sample %q", f.typ, famName, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("reading exposition: %w", err))
+	}
+	for _, f := range fams {
+		if f.typ == "" && f.help == "" {
+			continue
+		}
+		if f.samples == 0 {
+			// Declared but sampleless families are legal (a histogram
+			// with no observations still emits samples, so this only
+			// catches HELP/TYPE with nothing under them — allowed).
+			continue
+		}
+		if f.typ == "histogram" {
+			for sig, h := range f.hist {
+				if !h.haveInf {
+					errs = append(errs, fmt.Errorf("histogram %s{%s}: no +Inf bucket", f.name, strings.TrimSuffix(sig, ",")))
+				}
+				if h.haveInf && h.sawCount && h.infCount != h.countVal {
+					errs = append(errs, fmt.Errorf("histogram %s{%s}: +Inf bucket %v != _count %v",
+						f.name, strings.TrimSuffix(sig, ","), h.infCount, h.countVal))
+				}
+			}
+		}
+	}
+	return errs, stats
+}
+
+// parseMetaLine splits a "# HELP name text" / "# TYPE name type" line.
+// ok is false for plain comments.
+func parseMetaLine(line string) (kind, name, rest string, ok bool) {
+	body, found := strings.CutPrefix(line, "# ")
+	if !found {
+		return "", "", "", false
+	}
+	kind, body, found = strings.Cut(body, " ")
+	if !found || (kind != "HELP" && kind != "TYPE") {
+		return "", "", "", false
+	}
+	name, rest, _ = strings.Cut(body, " ")
+	return kind, name, rest, true
+}
+
+// familyOf resolves a sample name to its declared family: exact match
+// first, then the histogram/summary suffixes.
+func familyOf(name string, fams map[string]*lintFamily) (family, suffix string) {
+	if _, ok := fams[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f, exists := fams[base]; exists && (f.typ == "histogram" || f.typ == "summary") {
+				return base, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+// parseSampleLine parses `name{k="v",...} value [timestamp]`.
+func parseSampleLine(line string) (name string, labels []Label, value string, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name = line[:i]
+	if !nameOK(name) {
+		return "", nil, "", fmt.Errorf("invalid sample name %q", name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, "", fmt.Errorf("unterminated label set")
+		}
+		labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return "", nil, "", err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, "", fmt.Errorf("want `value [timestamp]` after name, got %q", strings.TrimSpace(rest))
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, "", fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, fields[0], nil
+}
+
+// parseLabels parses the interior of a label set.
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		key := s[:eq]
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("label %q: trailing backslash", key)
+				}
+				i++
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %q: bad escape \\%c", key, s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %q: unterminated value", key)
+		}
+		out = append(out, Label{Key: key, Value: val.String()})
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out, nil
+}

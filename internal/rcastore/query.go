@@ -158,11 +158,20 @@ func (s *Store) scanLocked(c compiled, visit func(b *block, i int)) {
 	}
 }
 
+// queriedLocked fires the StoreQueried hook once per query
+// evaluation. The caller must hold at least the read lock.
+func (s *Store) queriedLocked() {
+	if s.opts.Hooks != nil {
+		s.opts.Hooks.StoreQueried()
+	}
+}
+
 // Query returns matching records sorted by (Start, Session), truncated
 // to q.Limit when nonzero.
 func (s *Store) Query(q Query) []Record {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.queriedLocked()
 	var out []Record
 	s.scanLocked(s.compileLocked(q), func(b *block, i int) {
 		out = append(out, s.materializeLocked(b, i))
@@ -195,6 +204,7 @@ type ChainAgg struct {
 func (s *Store) TopChains(q Query, k int) []ChainAgg {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.queriedLocked()
 	runs := map[uint32]int{}
 	sessions := map[uint32]int{}
 	s.scanLocked(s.compileLocked(q), func(b *block, i int) {
@@ -243,6 +253,7 @@ type CauseBucket struct {
 func (s *Store) CauseRates(q Query, bucket sim.Time) []CauseBucket {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.queriedLocked()
 	type groupKey struct {
 		cell   uint32
 		bucket sim.Time
@@ -310,6 +321,7 @@ type Match struct {
 func (s *Store) Similar(fired []string, q Query, k int) []Match {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.queriedLocked()
 	var probe []uint64
 	unknown := 0
 	for _, n := range fired {
@@ -372,6 +384,7 @@ func (s *Store) Similar(fired []string, q Query, k int) []Match {
 func (s *Store) Fired(session string) (Record, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.queriedLocked()
 	for bi := len(s.blocks) - 1; bi >= 0; bi-- {
 		b := s.blocks[bi]
 		for i := b.n - 1; i >= 0; i-- {

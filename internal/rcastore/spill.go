@@ -100,7 +100,17 @@ func (s *Store) Spill(w io.Writer) error {
 			}
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if s.opts.Hooks != nil {
+		rows := 0
+		for _, b := range s.blocks {
+			rows += b.n
+		}
+		s.opts.Hooks.StoreSpilled(rows)
+	}
+	return nil
 }
 
 func emptyNotNil(s []string) []string {

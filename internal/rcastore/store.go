@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/obs"
 	"github.com/domino5g/domino/internal/sim"
 )
 
@@ -43,6 +44,11 @@ type Options struct {
 	// MaxBlocks caps retained blocks; once exceeded, whole blocks are
 	// evicted oldest-first (insertion order). 0 retains everything.
 	MaxBlocks int
+	// Hooks, if set, observes store lifecycle events (inserts,
+	// evictions, queries, spills). Implementations must be cheap and
+	// must not call back into the store — hooks fire with the store
+	// lock held.
+	Hooks obs.Hooks
 }
 
 func (o Options) defaults() Options {
@@ -298,6 +304,15 @@ func New(opts Options) *Store {
 	}
 }
 
+// SetHooks installs (or replaces) the store's observability hooks —
+// the path for attaching hooks to a store reloaded from a spill, where
+// Options were consumed by Load before the hooks existed.
+func (s *Store) SetHooks(h obs.Hooks) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opts.Hooks = h
+}
+
 // Insert appends one record. Records may arrive in any time order —
 // the store is ordered by arrival, and block time bounds (not sort
 // order) drive query pruning — but retention is arrival-ordered too:
@@ -369,6 +384,9 @@ func (s *Store) Insert(rec Record) {
 	setMaskBit(&b.scenMask, scenID)
 	b.n++
 	s.insertedRows++
+	if s.opts.Hooks != nil {
+		s.opts.Hooks.StoreInserted(1)
+	}
 
 	s.evictLocked()
 }
@@ -397,6 +415,9 @@ func (s *Store) evictLocked() {
 		return
 	}
 	for len(s.blocks) > s.opts.MaxBlocks {
+		if s.opts.Hooks != nil {
+			s.opts.Hooks.StoreEvicted(s.blocks[0].n)
+		}
 		s.evictedRows += s.blocks[0].n
 		s.evictedBlocks++
 		s.blocks = s.blocks[1:]

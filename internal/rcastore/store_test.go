@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/obs"
 	"github.com/domino5g/domino/internal/sim"
 )
 
@@ -393,5 +394,51 @@ func TestInsertReport(t *testing.T) {
 	}
 	if v, ok := got[0].Metric("kpi"); !ok || v != 1 {
 		t.Fatalf("InsertReport dropped metrics: %v %v", v, ok)
+	}
+}
+
+// storeHooks counts obs hook invocations for TestStoreHooks.
+type storeHooks struct {
+	obs.NopHooks
+	inserted, evicted, queries, spilledRows int
+}
+
+func (h *storeHooks) StoreInserted(rows int) { h.inserted += rows }
+func (h *storeHooks) StoreEvicted(rows int)  { h.evicted += rows }
+func (h *storeHooks) StoreQueried()          { h.queries++ }
+func (h *storeHooks) StoreSpilled(rows int)  { h.spilledRows += rows }
+
+// TestStoreHooks pins the store's observability seam: hook tallies
+// agree with Stats() across inserts, whole-block evictions, every
+// query entry point, and spills.
+func TestStoreHooks(t *testing.T) {
+	h := &storeHooks{}
+	s := New(Options{BlockRows: 2, MaxBlocks: 2, Hooks: h})
+	for i := 0; i < 7; i++ {
+		s.Insert(rec(fmt.Sprintf("s%d", i), "cell", "scen", i, []string{"sinr_drop"}, nil, nil))
+	}
+	st := s.Stats()
+	if h.inserted != st.InsertedRows {
+		t.Fatalf("StoreInserted saw %d rows, stats %d", h.inserted, st.InsertedRows)
+	}
+	if h.evicted != st.EvictedRows || h.evicted == 0 {
+		t.Fatalf("StoreEvicted saw %d rows, stats %d", h.evicted, st.EvictedRows)
+	}
+
+	s.Query(Query{})
+	s.TopChains(Query{}, 3)
+	s.CauseRates(Query{}, sim.Minute)
+	s.Similar([]string{"sinr_drop"}, Query{}, 1)
+	s.Fired("s6")
+	if h.queries != 5 {
+		t.Fatalf("StoreQueried fired %d times, want 5 (one per entry point)", h.queries)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Spill(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if h.spilledRows != s.Len() {
+		t.Fatalf("StoreSpilled saw %d rows, store retains %d", h.spilledRows, s.Len())
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/obs"
 	"github.com/domino5g/domino/internal/sim"
 	"github.com/domino5g/domino/internal/trace"
 )
@@ -99,6 +100,7 @@ type Analyzer struct {
 	nextStart sim.Time
 	stats     Stats
 	closed    bool
+	hooks     obs.Hooks
 }
 
 // New returns a streaming analyzer driving the given (immutable,
@@ -120,7 +122,16 @@ func (s *Analyzer) Reset() {
 	s.nextStart = 0
 	s.stats = Stats{}
 	s.closed = false
+	s.hooks = nil
 }
+
+// SetHooks installs observability hooks on the pipeline (nil disables
+// them, the default): window evaluations fire here, node/chain run
+// transitions are forwarded to the incremental engine. Call before the
+// header record is pushed; Reset clears the hooks with the rest of the
+// per-session state so pooled analyzers never leak one session's hooks
+// into the next.
+func (s *Analyzer) SetHooks(h obs.Hooks) { s.hooks = h }
 
 // Header returns the stream's header once it has been pushed.
 func (s *Analyzer) Header() (trace.Header, bool) {
@@ -168,6 +179,7 @@ func (s *Analyzer) Push(rec trace.Record) error {
 			s.inc = s.core.NewIncremental(h.CellName)
 		}
 		s.inc.SetScenario(h.Scenario)
+		s.inc.SetHooks(s.hooks)
 		if s.cfg.DropWindows {
 			s.inc.SetKeepWindows(false)
 		}
@@ -230,6 +242,9 @@ func (s *Analyzer) advance(flush bool) {
 		s.eval.EvictBefore(s.nextStart)
 		v := s.eval.Eval(s.nextStart)
 		wr, closedNodes, closedChains := s.inc.Step(v)
+		if s.hooks != nil {
+			s.hooks.WindowEvaluated(int64(s.nextStart), int64(s.nextStart+s.window))
+		}
 		s.stats.Windows++
 		s.nextStart += s.step
 		s.emit(wr, closedNodes, closedChains)

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"io"
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/obs"
 	"github.com/domino5g/domino/internal/ran"
 	"github.com/domino5g/domino/internal/rtc"
 	"github.com/domino5g/domino/internal/scenario"
@@ -525,4 +527,184 @@ func TestDropWindows(t *testing.T) {
 	if !reflect.DeepEqual(batch.NodeEvents, rep.NodeEvents) || !reflect.DeepEqual(batch.ChainEvents, rep.ChainEvents) {
 		t.Fatal("event runs diverged under DropWindows")
 	}
+}
+
+// captureHooks records every obs hook invocation for assertions.
+type captureHooks struct {
+	obs.NopHooks
+	windows     int
+	nodeFired   []string
+	nodeClosed  []string
+	chainOpened []string
+	chainClosed []string
+}
+
+func (h *captureHooks) WindowEvaluated(start, end int64) { h.windows++ }
+func (h *captureHooks) NodeFired(node string, at int64)  { h.nodeFired = append(h.nodeFired, node) }
+func (h *captureHooks) NodeRunClosed(node string, start, end int64, windows int) {
+	h.nodeClosed = append(h.nodeClosed, node)
+}
+func (h *captureHooks) ChainRunOpened(chain string, at int64) {
+	h.chainOpened = append(h.chainOpened, chain)
+}
+func (h *captureHooks) ChainRunClosed(chain string, start, end int64, windows int) {
+	h.chainClosed = append(h.chainClosed, chain)
+}
+
+// TestObsHooks pins the observability seam: hook counts agree with the
+// final report (every run that opened also closed), chain hooks carry
+// the DSL signature, and Reset clears the hooks with the rest of the
+// session state.
+func TestObsHooks(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := simulate(t, ran.TMobileTDD(), 7, 20*sim.Second)
+	recs := records(t, set)
+
+	h := &captureHooks{}
+	s := New(analyzer, Config{})
+	s.SetHooks(h)
+	for _, rec := range recs {
+		if err := s.Push(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := s.Stats()
+	rep, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if h.windows == 0 || h.windows < stats.Windows {
+		t.Fatalf("WindowEvaluated fired %d times, stats saw %d windows", h.windows, stats.Windows)
+	}
+	var nodeRuns int
+	for _, runs := range rep.NodeEvents {
+		nodeRuns += len(runs)
+	}
+	if len(h.nodeClosed) != nodeRuns {
+		t.Fatalf("NodeRunClosed fired %d times, report has %d runs", len(h.nodeClosed), nodeRuns)
+	}
+	if len(h.nodeFired) != len(h.nodeClosed) {
+		t.Fatalf("NodeFired %d != NodeRunClosed %d (Close must close every open run)",
+			len(h.nodeFired), len(h.nodeClosed))
+	}
+	var chainRuns int
+	for _, runs := range rep.ChainEvents {
+		chainRuns += len(runs)
+	}
+	if len(h.chainClosed) != chainRuns {
+		t.Fatalf("ChainRunClosed fired %d times, report has %d runs", len(h.chainClosed), chainRuns)
+	}
+	if len(h.chainOpened) != len(h.chainClosed) {
+		t.Fatalf("ChainRunOpened %d != ChainRunClosed %d", len(h.chainOpened), len(h.chainClosed))
+	}
+	for _, sig := range h.chainOpened {
+		if !strings.Contains(sig, " --> ") {
+			t.Fatalf("chain hook got %q, want a DSL signature", sig)
+		}
+	}
+
+	// Reset drops the hooks: the next session must stay silent.
+	s.Reset()
+	before := h.windows
+	if err := s.Push(testHeader()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(rrcAt(6 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if h.windows != before {
+		t.Fatalf("hooks fired after Reset: %d windows before, %d after", before, h.windows)
+	}
+}
+
+// TestLateAccounting pins the drop-side bookkeeping of the watermark
+// contract: every record behind the horizon is counted (and only
+// counted — the report is as if it never arrived), accepted records
+// are tallied separately, and the horizon boundary itself is inclusive.
+func TestLateAccounting(t *testing.T) {
+	analyzer, err := core.NewAnalyzer(core.DetectorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("each dropped record counted once", func(t *testing.T) {
+		s := New(analyzer, Config{DropLate: true})
+		if err := s.Push(testHeader()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Push(rrcAt(6 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		for _, at := range []sim.Time{sim.Second, 2 * sim.Second, 3 * sim.Second} {
+			if err := s.Push(rrcAt(at)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := s.Stats()
+		if st.LateDropped != 3 {
+			t.Fatalf("LateDropped = %d, want 3", st.LateDropped)
+		}
+		if st.Records != 1 {
+			t.Fatalf("Records = %d, want 1 (dropped records must not count as accepted)", st.Records)
+		}
+	})
+
+	t.Run("horizon boundary is inclusive", func(t *testing.T) {
+		s := New(analyzer, Config{})
+		if err := s.Push(testHeader()); err != nil {
+			t.Fatal(err)
+		}
+		// Watermark 6 s evaluates through window [1s, 6s): the horizon
+		// is exactly 6 s. A record at 6 s is on time; one tick earlier
+		// is late.
+		if err := s.Push(rrcAt(6 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Push(rrcAt(6 * sim.Second)); err != nil {
+			t.Fatalf("record at the horizon rejected: %v", err)
+		}
+		if err := s.Push(rrcAt(6*sim.Second - 1)); !errors.Is(err, ErrLateRecord) {
+			t.Fatalf("record one tick behind the horizon: %v", err)
+		}
+	})
+
+	t.Run("dropped records leave the report untouched", func(t *testing.T) {
+		set := simulate(t, ran.TMobileTDD(), 11, 10*sim.Second)
+		recs := records(t, set)
+		clean, cleanStats := streamReport(t, analyzer, recs, Config{DropLate: true})
+
+		// Same stream with stale duplicates injected after the watermark
+		// has moved on: they must be dropped, counted, and invisible in
+		// the report.
+		s := New(analyzer, Config{DropLate: true})
+		for _, rec := range recs {
+			if err := s.Push(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, at := range []sim.Time{sim.Second, 2 * sim.Second} {
+			if err := s.Push(rrcAt(at)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := s.Stats()
+		dirty, err := s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.LateDropped != 2 {
+			t.Fatalf("LateDropped = %d, want 2", st.LateDropped)
+		}
+		if st.Records != cleanStats.Records {
+			t.Fatalf("accepted records %d != clean run %d", st.Records, cleanStats.Records)
+		}
+		diffReports(t, clean, dirty)
+	})
 }

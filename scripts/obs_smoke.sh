@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# obs_smoke.sh — end-to-end check of dominod's observability surface.
+#
+# Builds dominod, tracegen, and promlint; boots the service with the
+# pprof debug listener enabled; ingests one generated session; then
+# asserts:
+#   - /metrics passes the Prometheus text-exposition linter (promlint)
+#   - /healthz reports ok with build identity
+#   - /debug/flightrec/{session} serves the pipeline flight recording
+#   - the pprof endpoint yields a CPU profile
+# Artifacts (scrape, flight recording, profile) land in OUT_DIR
+# (default ./obs-smoke) so CI can upload them. Exit 0 only if every
+# probe succeeds.
+set -eu
+
+OUT_DIR="${OUT_DIR:-obs-smoke}"
+ADDR="${ADDR:-127.0.0.1:18077}"
+DEBUG_ADDR="${DEBUG_ADDR:-127.0.0.1:18078}"
+PROFILE_SECONDS="${PROFILE_SECONDS:-2}"
+
+mkdir -p "$OUT_DIR"
+BIN_DIR="$(mktemp -d)"
+DOMINOD_PID=""
+cleanup() {
+    [ -n "$DOMINOD_PID" ] && kill "$DOMINOD_PID" 2>/dev/null || true
+    rm -rf "$BIN_DIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building dominod, tracegen, promlint"
+go build -o "$BIN_DIR" ./cmd/dominod ./cmd/tracegen ./cmd/promlint
+
+echo "== starting dominod on $ADDR (pprof on $DEBUG_ADDR)"
+"$BIN_DIR/dominod" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -log-format json -v \
+    >"$OUT_DIR/dominod.log" 2>&1 &
+DOMINOD_PID=$!
+
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >"$OUT_DIR/healthz.json" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+grep -q '"status": "ok"' "$OUT_DIR/healthz.json" || {
+    echo "dominod never became healthy"; cat "$OUT_DIR/dominod.log"; exit 1; }
+echo "   healthz: $(cat "$OUT_DIR/healthz.json" | tr -d '\n ')"
+
+echo "== ingesting one generated session"
+"$BIN_DIR/tracegen" -cell amarisoft -duration 20 -seed 7 -o "$BIN_DIR/call.jsonl"
+curl -fsS -X POST --data-binary @"$BIN_DIR/call.jsonl" \
+    "http://$ADDR/ingest?session=smoke" >"$OUT_DIR/report.json"
+
+echo "== validating /metrics exposition"
+curl -fsS "http://$ADDR/metrics" >"$OUT_DIR/metrics.txt"
+"$BIN_DIR/promlint" "$OUT_DIR/metrics.txt"
+grep -q 'dominod_sessions_done_total 1' "$OUT_DIR/metrics.txt" || {
+    echo "metrics missing completed session"; exit 1; }
+grep -q 'domino_build_info{' "$OUT_DIR/metrics.txt" || {
+    echo "metrics missing build info"; exit 1; }
+
+echo "== dumping flight recording"
+curl -fsS "http://$ADDR/debug/flightrec/smoke" >"$OUT_DIR/flightrec.jsonl"
+grep -q '"kind":"report_stored"' "$OUT_DIR/flightrec.jsonl" || {
+    echo "flight recording missing report_stored event"; exit 1; }
+echo "   $(wc -l < "$OUT_DIR/flightrec.jsonl") events recorded"
+
+echo "== capturing ${PROFILE_SECONDS}s CPU profile from pprof"
+curl -fsS "http://$DEBUG_ADDR/debug/pprof/profile?seconds=$PROFILE_SECONDS" \
+    >"$OUT_DIR/cpu.pprof"
+[ -s "$OUT_DIR/cpu.pprof" ] || { echo "empty CPU profile"; exit 1; }
+
+echo "== obs smoke OK (artifacts in $OUT_DIR)"
