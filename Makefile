@@ -7,15 +7,24 @@ GO ?= go
 # perf gate: stream-vs-batch analyzer throughput, the rolling window
 # evaluator and compiled-DAG step microbenchmarks, and per-scenario
 # trace-generation throughput (root package), plus the event-scheduler
-# and JSONL-codec microbenchmarks (internal/sim, internal/trace) and
-# the fleet ingest benchmark (cmd/dominod) and the RCA-store insert and
-# query benchmarks (internal/rcastore). Every benchmark processes
-# a sizable batch per iteration, and the gate runs -count=5 with
-# benchjson keeping the best of the repeats — on shared hardware
-# interference only makes numbers worse, so best-of-5 is the stable
-# estimate to gate on.
-BENCH_GATE_PATTERN = BenchmarkStreamAnalyzer|BenchmarkScenarioTraceGen|BenchmarkEngine|BenchmarkCodec|BenchmarkWindowEval|BenchmarkIncrementalStep|BenchmarkDominodIngest|BenchmarkRCAStore
-BENCH_GATE_PKGS = . ./internal/sim ./internal/trace ./cmd/dominod ./internal/rcastore
+# and trace-codec (JSONL and binary columnar) microbenchmarks
+# (internal/sim, internal/trace), the work-stealing batch executor
+# (internal/parallel), the fleet ingest benchmarks in both wire formats
+# (cmd/dominod) and the RCA-store insert and query benchmarks
+# (internal/rcastore). Every benchmark processes a sizable batch per
+# iteration, and the gate runs -count=5 with benchjson keeping the best
+# of the repeats — on shared hardware interference only makes numbers
+# worse, so best-of-5 is the stable estimate to gate on.
+BENCH_GATE_PATTERN = BenchmarkStreamAnalyzer|BenchmarkScenarioTraceGen|BenchmarkEngine|BenchmarkCodec|BenchmarkWindowEval|BenchmarkIncrementalStep|BenchmarkDominodIngest|BenchmarkRCAStore|BenchmarkBatchExecutor
+BENCH_GATE_PKGS = . ./internal/sim ./internal/trace ./internal/parallel ./cmd/dominod ./internal/rcastore
+
+# Absolute perf contracts the binary ingest fast path must clear on
+# every run, on top of the relative gate: the negotiated binary format
+# must sustain at least 2x the committed JSONL fleet-ingest baseline
+# (1,282,859 records/s; measured best-of-5 on the baseline hardware is
+# ~3.6x, the floor leaves headroom for shared-runner noise). Enforced
+# by benchdiff -floor, which also fails if the benchmark vanishes.
+BENCH_FLOORS = -floor 'BenchmarkDominodIngestBinary:records/s=2565718'
 
 .PHONY: build vet fmt fmt-check test bench bench-json bench-diff dominod-smoke obs-smoke doclint mdcheck examples-check ci
 
@@ -61,7 +70,7 @@ bench-json:
 bench-diff:
 	$(GO) test -bench='$(BENCH_GATE_PATTERN)' -benchtime=3x -count=5 -run='^$$' $(BENCH_GATE_PKGS) > BENCH_raw.txt
 	$(GO) run ./cmd/benchjson < BENCH_raw.txt > BENCH_fresh.json && rm -f BENCH_raw.txt
-	$(GO) run ./cmd/benchdiff -baseline BENCH_scenarios.json -current BENCH_fresh.json -o BENCH_diff.txt
+	$(GO) run ./cmd/benchdiff -baseline BENCH_scenarios.json -current BENCH_fresh.json $(BENCH_FLOORS) -o BENCH_diff.txt
 
 # End-to-end smoke of the live ingest service: start dominod, POST 8
 # concurrent generated session streams, assert each /report/{id}

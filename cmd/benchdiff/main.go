@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchdiff -baseline BENCH_scenarios.json -current BENCH_fresh.json \
-//	    [-max-regress 0.30] [-o BENCH_diff.txt]
+//	    [-max-regress 0.30] [-floor 'Name:unit=value' ...] [-o BENCH_diff.txt]
 //
 // Gating is direction-aware and restricted to metrics that encode a
 // performance contract:
@@ -23,6 +23,14 @@
 // silently vanished benchmark is how perf contracts rot); benchmarks
 // present only in the current run are reported as unbaselined, and
 // improvements beyond the threshold are flagged as re-baseline hints.
+//
+// Relative gating cannot express "this new path must clear an absolute
+// bar", so -floor pins one: each (repeatable) -floor Name:unit=value
+// requires the named benchmark's metric in the CURRENT run to be at
+// least value for higher-better units ("/s") and at most value for
+// lower-better ones. A floored benchmark missing from the current run
+// fails — a floor is a contract, not a hint — and floors apply whether
+// or not the benchmark is baselined.
 //
 // Exit codes: 0 pass, 1 regression (or vanished benchmark), 2 usage or
 // I/O error.
@@ -77,6 +85,77 @@ type delta struct {
 	regressed, improved bool
 }
 
+// floor is one absolute -floor contract: the named benchmark's metric
+// must clear value in the current run.
+type floor struct {
+	bench, unit string
+	value       float64
+}
+
+// floorFlags collects repeated -floor arguments.
+type floorFlags []floor
+
+func (f *floorFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, fl := range *f {
+		parts[i] = fmt.Sprintf("%s:%s=%g", fl.bench, fl.unit, fl.value)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *floorFlags) Set(s string) error {
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return fmt.Errorf("floor %q: want Name:unit=value", s)
+	}
+	unit, valStr, ok := strings.Cut(rest, "=")
+	if !ok {
+		return fmt.Errorf("floor %q: want Name:unit=value", s)
+	}
+	var val float64
+	if _, err := fmt.Sscanf(valStr, "%g", &val); err != nil {
+		return fmt.Errorf("floor %q: bad value %q", s, valStr)
+	}
+	if name == "" || unit == "" || val <= 0 {
+		return fmt.Errorf("floor %q: name, unit and a positive value are required", s)
+	}
+	if metricDirection(unit) == skip {
+		return fmt.Errorf("floor %q: unit %q is not a gated metric", s, unit)
+	}
+	*f = append(*f, floor{bench: name, unit: unit, value: val})
+	return nil
+}
+
+// checkFloors evaluates every -floor contract against the current run,
+// appending report lines and returning the failures.
+func checkFloors(current map[string]benchResult, floors []floor, sb *strings.Builder) []string {
+	var failures []string
+	for _, fl := range floors {
+		cur, ok := current[fl.bench]
+		if ok {
+			_, ok = cur.Metrics[fl.unit]
+		}
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s [%s]: floored benchmark missing from current run", fl.bench, fl.unit))
+			continue
+		}
+		cv := cur.Metrics[fl.unit]
+		holds := cv >= fl.value
+		cmp := ">="
+		if metricDirection(fl.unit) == lowerBetter {
+			holds = cv <= fl.value
+			cmp = "<="
+		}
+		status := "ok"
+		if !holds {
+			status = "BELOW FLOOR"
+			failures = append(failures, fmt.Sprintf("%s [%s]: %.4g, floor requires %s %.4g", fl.bench, fl.unit, cv, cmp, fl.value))
+		}
+		fmt.Fprintf(sb, "%-60s %-12s %12s %s %-10.4g measured %-10.4g %s\n", fl.bench, fl.unit, "floor", cmp, fl.value, cv, status)
+	}
+	return failures
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -87,6 +166,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baselinePath := fs.String("baseline", "BENCH_scenarios.json", "committed baseline benchjson document")
 	currentPath := fs.String("current", "", "fresh benchjson document to compare (required)")
 	maxRegress := fs.Float64("max-regress", 0.30, "maximum tolerated relative regression (0.30 = 30%)")
+	var floors floorFlags
+	fs.Var(&floors, "floor", "absolute contract Name:unit=value the current run must clear (repeatable)")
 	outPath := fs.String("o", "", "also write the report to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -111,7 +192,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	report, failed := diff(baseline, current, *maxRegress)
+	report, failed := diff(baseline, current, *maxRegress, floors)
 	if *outPath != "" {
 		if err := os.WriteFile(*outPath, []byte(report), 0o644); err != nil {
 			fmt.Fprintln(stderr, "benchdiff:", err)
@@ -146,7 +227,7 @@ func load(path string) (map[string]benchResult, error) {
 
 // diff renders the comparison report and reports whether the gate
 // failed.
-func diff(baseline, current map[string]benchResult, maxRegress float64) (string, bool) {
+func diff(baseline, current map[string]benchResult, maxRegress float64, floors []floor) (string, bool) {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
 		names = append(names, name)
@@ -200,8 +281,16 @@ func diff(baseline, current map[string]benchResult, maxRegress float64) (string,
 			fmt.Fprintf(&sb, "%-60s (new, unbaselined — run `make bench-json` to add it)\n", name)
 		}
 	}
+	floorFailures := checkFloors(current, floors, &sb)
 	sb.WriteString("\n")
 	failed := false
+	if len(floorFailures) > 0 {
+		failed = true
+		fmt.Fprintf(&sb, "FAIL: %d floor contract(s) not met:\n", len(floorFailures))
+		for _, f := range floorFailures {
+			fmt.Fprintf(&sb, "  - %s\n", f)
+		}
+	}
 	if len(vanished) > 0 {
 		failed = true
 		fmt.Fprintf(&sb, "FAIL: %d baselined benchmark(s)/metric(s) missing from the current run:\n", len(vanished))
@@ -223,8 +312,9 @@ func diff(baseline, current map[string]benchResult, maxRegress float64) (string,
 	if failed {
 		verdict = "FAIL"
 	}
-	fmt.Fprintf(&sb, "gate summary: %s — %d gated metric(s) compared, %d ok, %d regressed, %d improved, %d missing, %d unbaselined\n",
-		verdict, compared, compared-len(regressions)-improvements, len(regressions), improvements, len(vanished), newBenches)
+	fmt.Fprintf(&sb, "gate summary: %s — %d gated metric(s) compared, %d ok, %d regressed, %d improved, %d missing, %d unbaselined, %d/%d floor(s) held\n",
+		verdict, compared, compared-len(regressions)-improvements, len(regressions), improvements, len(vanished), newBenches,
+		len(floors)-len(floorFailures), len(floors))
 	return sb.String(), failed
 }
 

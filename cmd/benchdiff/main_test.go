@@ -191,6 +191,80 @@ func TestBenchdiffThreshold(t *testing.T) {
 	}
 }
 
+func TestBenchdiffFloorHolds(t *testing.T) {
+	// A floor the current run clears passes and is reported.
+	code, out := runDiff(t, baselineDoc, baselineDoc, "-floor", "BenchmarkCodecDecode/fast:rec/s=1500000")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "1/1 floor(s) held") {
+		t.Fatalf("floor not reported in summary:\n%s", out)
+	}
+}
+
+func TestBenchdiffFloorViolated(t *testing.T) {
+	code, out := runDiff(t, baselineDoc, baselineDoc, "-floor", "BenchmarkCodecDecode/fast:rec/s=3000000")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "BELOW FLOOR") || !strings.Contains(out, "floor contract(s) not met") {
+		t.Fatalf("floor violation not reported:\n%s", out)
+	}
+}
+
+func TestBenchdiffFloorLowerBetter(t *testing.T) {
+	// For lower-better units the floor is a ceiling: allocs/rec 1 passes
+	// a <=2 contract and fails a <=0.5 one.
+	if code, out := runDiff(t, baselineDoc, baselineDoc, "-floor", "BenchmarkCodecDecode/fast:allocs/rec=2"); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if code, out := runDiff(t, baselineDoc, baselineDoc, "-floor", "BenchmarkCodecDecode/fast:allocs/rec=0.5"); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+}
+
+func TestBenchdiffFloorOnUnbaselinedBenchmark(t *testing.T) {
+	// Floors gate benchmarks that have no baseline entry yet — that is
+	// their point: absolute contracts for new fast paths.
+	current := strings.Replace(baselineDoc, `]}`, `,
+		{"name":"BenchmarkBrandNew","iterations":1,"metrics":{"rec/s":4000000}}]}`, 1)
+	if code, out := runDiff(t, baselineDoc, current, "-floor", "BenchmarkBrandNew:rec/s=3000000"); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if code, out := runDiff(t, baselineDoc, current, "-floor", "BenchmarkBrandNew:rec/s=5000000"); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+}
+
+func TestBenchdiffFloorMissingBenchmarkFails(t *testing.T) {
+	code, out := runDiff(t, baselineDoc, baselineDoc, "-floor", "BenchmarkNope:rec/s=1")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (floored benchmark absent)\n%s", code, out)
+	}
+	if !strings.Contains(out, "missing from current run") {
+		t.Fatalf("missing floored benchmark not reported:\n%s", out)
+	}
+}
+
+func TestBenchdiffFloorFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	b := writeDoc(t, dir, "base.json", baselineDoc)
+	c := writeDoc(t, dir, "cur.json", baselineDoc)
+	for _, bad := range []string{
+		"no-colon=1",              // missing unit separator
+		"Name:rec/s",              // missing value
+		"Name:rec/s=zero",         // non-numeric value
+		"Name:rec/s=-5",           // non-positive value
+		"Name:ns/op=100",          // ns/op is not a gated unit
+		":rec/s=1", "Name:=1", "", // empty pieces
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-baseline", b, "-current", c, "-floor", bad}, &stdout, &stderr); code != 2 {
+			t.Fatalf("floor %q: exit = %d, want 2", bad, code)
+		}
+	}
+}
+
 func TestBenchdiffReportFile(t *testing.T) {
 	dir := t.TempDir()
 	b := writeDoc(t, dir, "base.json", baselineDoc)

@@ -1,16 +1,18 @@
-// Command domino analyzes a cross-layer trace (JSONL) with the Domino
-// causal-chain detector and reports detected events, matched chains,
-// and root-cause statistics.
+// Command domino analyzes a cross-layer trace — JSONL or the compact
+// binary columnar format, sniffed from the file's first bytes — with
+// the Domino causal-chain detector and reports detected events,
+// matched chains, and root-cause statistics.
 //
 // Usage:
 //
 //	domino -trace call.jsonl [-graph chains.txt] [-codegen out.go] [-v]
+//	domino -trace call.dmnt
 //
 // Without -graph the paper's default Fig. 9 graph (24 chains) is used.
 // -codegen writes the generated Go detector for the graph and exits.
 //
 // The trace is streamed through the incremental analyzer
-// (trace.NewStreamReader + domino.StreamRecords): only the sliding
+// (domino.NewTraceReader + domino.StreamRecords): only the sliding
 // detection window is buffered, never the whole trace, so arbitrarily
 // long captures analyze in O(window) memory. Traces written by current
 // tooling are time-ordered and stream directly; a type-grouped legacy
@@ -34,7 +36,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("domino", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	tracePath := fs.String("trace", "", "path to a JSONL trace set (required unless -codegen)")
+	tracePath := fs.String("trace", "", "path to a trace set, JSONL or binary (required unless -codegen)")
 	graphPath := fs.String("graph", "", "path to a causal-chain DSL file (default: built-in Fig. 9 graph)")
 	codegen := fs.String("codegen", "", "write the generated Go detector to this path and exit")
 	verbose := fs.Bool("v", false, "print per-window chain matches")

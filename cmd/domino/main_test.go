@@ -134,6 +134,43 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
+// TestBinaryTraceMatchesJSONL analyzes the same call from a JSONL file
+// and from its binary columnar twin: the CLI must sniff the format and
+// print byte-identical reports.
+func TestBinaryTraceMatchesJSONL(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath := writeTestTrace(t, dir)
+	blob, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := domino.ReadTrace(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "call.dmnt")
+	f, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := domino.WriteTraceBinary(f, set); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	outputs := make([]string, 2)
+	for i, p := range []string{jsonlPath, binPath} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-trace", p, "-v"}, &stdout, &stderr); code != 0 {
+			t.Fatalf("%s: exit %d: %s", p, code, stderr.String())
+		}
+		outputs[i] = stdout.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("binary report differs from JSONL report:\n--- jsonl ---\n%s\n--- binary ---\n%s", outputs[0], outputs[1])
+	}
+}
+
 // TestCodegenOutputCompiles-ish: the generated file must at least be
 // written and contain the package clause.
 func TestCodegenWritesDetector(t *testing.T) {

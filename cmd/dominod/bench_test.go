@@ -11,22 +11,19 @@ import (
 
 	"github.com/domino5g/domino/internal/ran"
 	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
 )
 
-// BenchmarkDominodIngest measures fleet-shaped ingest: many concurrent
-// session uploads through the full HTTP path (sharded registry, pooled
-// per-session analyzers, chunked pooled record buffers). Each
-// iteration POSTs `sessions` concurrent streams of one pre-generated
-// 10 s trace; records/s counts every data record analyzed across the
-// fleet per wall-clock second.
-func BenchmarkDominodIngest(b *testing.B) {
-	analyzer := testAnalyzer(b)
-	set, body := sessionTrace(b, ran.Amarisoft(), 21, 10*sim.Second)
-	c := set.Counts()
-	recordsPerSession := c.DCI + c.GNBLog + c.Packets + c.WebRTC
-
+// benchIngest measures fleet-shaped ingest: many concurrent session
+// uploads through the full HTTP path (Content-Type negotiation,
+// sharded registry, pooled per-session analyzers, pipelined chunk
+// steps on the work-stealing pool). Each iteration POSTs `sessions`
+// concurrent streams of one pre-generated 10 s trace in the given wire
+// format; records/s counts every data record analyzed across the fleet
+// per wall-clock second.
+func benchIngest(b *testing.B, contentType string, body []byte, recordsPerSession int) {
 	const sessions = 16
-	srv := newServer(analyzer, serverOptions{MaxStreams: sessions, MaxSessions: 64})
+	srv := newServer(testAnalyzer(b), serverOptions{MaxStreams: sessions, MaxSessions: 64})
 	ts := httptest.NewServer(srv.routes())
 	defer ts.Close()
 	client := ts.Client()
@@ -41,7 +38,7 @@ func BenchmarkDominodIngest(b *testing.B) {
 			go func(j int) {
 				defer wg.Done()
 				id := fmt.Sprintf("bench-%d-%d", i, j)
-				resp, err := client.Post(ts.URL+"/ingest?session="+id, "application/jsonl", bytes.NewReader(body))
+				resp, err := client.Post(ts.URL+"/ingest?session="+id, contentType, bytes.NewReader(body))
 				if err != nil {
 					errs[j] = err
 					return
@@ -64,4 +61,25 @@ func BenchmarkDominodIngest(b *testing.B) {
 	}
 	b.ReportMetric(float64(recordsPerSession*sessions*b.N)/b.Elapsed().Seconds(), "records/s")
 	b.ReportMetric(float64(sessions*b.N)/b.Elapsed().Seconds(), "sessions/s")
+}
+
+// benchTraceRecords is the per-session data-record count of the
+// benchmark trace.
+func benchTraceRecords(set *trace.Set) int {
+	c := set.Counts()
+	return c.DCI + c.GNBLog + c.Packets + c.WebRTC
+}
+
+// BenchmarkDominodIngest is the JSONL compatibility-path ingest
+// benchmark (the PR 5 baseline shape).
+func BenchmarkDominodIngest(b *testing.B) {
+	set, body := sessionTrace(b, ran.Amarisoft(), 21, 10*sim.Second)
+	benchIngest(b, "application/jsonl", body, benchTraceRecords(set))
+}
+
+// BenchmarkDominodIngestBinary is the same fleet workload over the
+// compact binary columnar format — the negotiated fast path.
+func BenchmarkDominodIngestBinary(b *testing.B) {
+	set, _ := sessionTrace(b, ran.Amarisoft(), 21, 10*sim.Second)
+	benchIngest(b, "application/x-domino-trace", binaryTrace(b, set), benchTraceRecords(set))
 }

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+// binaryTrace encodes the set in the compact binary columnar format.
+func binaryTrace(t testing.TB, set *trace.Set) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postIngest(t testing.TB, url, session, contentType string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/ingest?session="+session, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestIngestFormatNegotiation pins the Content-Type dispatch on
+// /ingest: the binary media type, the JSONL family, and the sniffing
+// fallback (no Content-Type, or the generic octet-stream) must all
+// decode — and for every preset the binary-ingested report must be
+// identical to its JSONL-ingested twin.
+func TestIngestFormatNegotiation(t *testing.T) {
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 4})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	for i, cell := range []ran.CellConfig{ran.Amarisoft(), ran.TMobileFDD()} {
+		set, jsonlBody := sessionTrace(t, cell, uint64(70+i), 8*sim.Second)
+		binBody := binaryTrace(t, set)
+
+		cases := []struct {
+			id, ct string
+			body   []byte
+		}{
+			{fmt.Sprintf("jsonl-%d", i), "application/jsonl", jsonlBody},
+			{fmt.Sprintf("json-%d", i), "application/json; charset=utf-8", jsonlBody},
+			{fmt.Sprintf("bin-%d", i), "application/x-domino-trace", binBody},
+			{fmt.Sprintf("bin-sniffed-%d", i), "", binBody},
+			{fmt.Sprintf("bin-octet-%d", i), "application/octet-stream", binBody},
+			{fmt.Sprintf("jsonl-sniffed-%d", i), "", jsonlBody},
+		}
+		for _, c := range cases {
+			if resp := postIngest(t, ts.URL, c.id, c.ct, c.body); resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s (Content-Type %q): status %d, want 200", c.id, c.ct, resp.StatusCode)
+			}
+		}
+
+		// Every decode path must produce the exact same report.
+		var want reportPayload
+		getJSON(t, ts.URL+"/report/"+cases[0].id, &want)
+		if want.State != "done" {
+			t.Fatalf("%s: state %q (error %q)", cases[0].id, want.State, want.Error)
+		}
+		want.Session = ""
+		for _, c := range cases[1:] {
+			var got reportPayload
+			getJSON(t, ts.URL+"/report/"+c.id, &got)
+			got.Session = ""
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s report diverges from its JSONL twin:\ngot  %+v\nwant %+v", c.id, got, want)
+			}
+		}
+	}
+}
+
+// TestIngestUnsupportedContentType pins the 415 path: an unknown media
+// type is rejected before a session is registered, the error lists the
+// supported types, and the rejected session ID stays free.
+func TestIngestUnsupportedContentType(t *testing.T) {
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 2})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	_, body := sessionTrace(t, ran.Mosolabs(), 9, 6*sim.Second)
+	for _, ct := range []string{
+		"text/plain",
+		"application/x-www-form-urlencoded", // curl's silent default
+		"application/xml",
+		"multipart/form-data; boundary", // unparseable params
+	} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/ingest?session=ct415", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", ct)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Fatalf("Content-Type %q: status %d, want 415", ct, resp.StatusCode)
+		}
+		for _, want := range []string{"application/x-domino-trace", "application/jsonl", "application/x-ndjson"} {
+			if !strings.Contains(string(msg), want) {
+				t.Fatalf("415 body for %q does not list %q: %s", ct, want, msg)
+			}
+		}
+	}
+
+	// The rejection happened before registration: the ID is unused and
+	// immediately available to a corrected retry.
+	resp, err := http.Get(ts.URL + "/report/ct415")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("rejected session registered anyway: %d, want 404", resp.StatusCode)
+	}
+	if resp := postIngest(t, ts.URL, "ct415", "application/jsonl", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry with supported type: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestIngestPerFormatMetrics pins the per-wire-format observability:
+// both format series are registered before any ingest, and each ingest
+// bumps only its own format's records counter and decode histogram.
+func TestIngestPerFormatMetrics(t *testing.T) {
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 2})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	// Registered up front: both series scrape at zero pre-ingest.
+	fresh := scrape()
+	for _, want := range []string{
+		`dominod_ingest_records_total{format="binary"} 0`,
+		`dominod_ingest_records_total{format="jsonl"} 0`,
+		`dominod_ingest_decode_seconds_count{format="binary"} 0`,
+		`dominod_ingest_decode_seconds_count{format="jsonl"} 0`,
+	} {
+		if !strings.Contains(fresh, want) {
+			t.Fatalf("fresh /metrics missing %q:\n%s", want, fresh)
+		}
+	}
+
+	set, jsonlBody := sessionTrace(t, ran.Amarisoft(), 33, 6*sim.Second)
+	c := set.Counts()
+	records := c.DCI + c.GNBLog + c.Packets + c.WebRTC
+	if resp := postIngest(t, ts.URL, "mj", "application/jsonl", jsonlBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("jsonl ingest: %d", resp.StatusCode)
+	}
+	if resp := postIngest(t, ts.URL, "mb", "application/x-domino-trace", binaryTrace(t, set)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary ingest: %d", resp.StatusCode)
+	}
+
+	after := scrape()
+	for _, want := range []string{
+		fmt.Sprintf(`dominod_ingest_records_total{format="binary"} %d`, records),
+		fmt.Sprintf(`dominod_ingest_records_total{format="jsonl"} %d`, records),
+		fmt.Sprintf("dominod_records_total %d", 2*records),
+	} {
+		if !strings.Contains(after, want) {
+			t.Fatalf("/metrics missing %q after ingest:\n%s", want, after)
+		}
+	}
+	// Each format observed at least one decode chunk.
+	for _, f := range ingestFormats {
+		zero := fmt.Sprintf(`dominod_ingest_decode_seconds_count{format=%q} 0`, f)
+		if strings.Contains(after, zero) {
+			t.Fatalf("decode histogram for %s never observed:\n%s", f, after)
+		}
+	}
+}
+
+// TestIngestBinaryTruncated pins fail-fast on a cut-off binary upload:
+// the stream errors (no silent truncation), the session fails, and the
+// partial analysis up to the cut survives.
+func TestIngestBinaryTruncated(t *testing.T) {
+	srv := newServer(testAnalyzer(t), serverOptions{MaxStreams: 2})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	set, _ := sessionTrace(t, ran.Amarisoft(), 5, 10*sim.Second)
+	body := binaryTrace(t, set)
+	if resp := postIngest(t, ts.URL, "cut", "application/x-domino-trace", body[:len(body)*3/4]); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated binary ingest: %d, want 400", resp.StatusCode)
+	}
+	var rep reportPayload
+	getJSON(t, ts.URL+"/report/cut", &rep)
+	if rep.State != "failed" || rep.Error == "" {
+		t.Fatalf("state %q error %q, want failed with its decode error", rep.State, rep.Error)
+	}
+	if rep.Records == 0 {
+		t.Fatalf("no partial progress before the cut: %+v", rep.sessionInfo)
+	}
+}

@@ -1,9 +1,11 @@
 // Command dominod is the live, operator-side Domino analysis service:
 // the always-on deployment mode the paper frames for its detector. It
-// ingests many concurrent session trace streams (JSONL over HTTP) and
-// serves per-session root-cause reports and aggregate cause-class
-// counters while the calls are still in progress, using the streaming
-// analyzer's O(window) per-session state.
+// ingests many concurrent session trace streams over HTTP — JSONL or
+// the compact binary columnar format, negotiated per request by
+// Content-Type — and serves per-session root-cause reports and
+// aggregate cause-class counters while the calls are still in
+// progress, using the streaming analyzer's O(window) per-session
+// state.
 //
 // Usage:
 //
@@ -14,7 +16,14 @@
 //
 // Endpoints:
 //
-//	POST /ingest?session=ID        chunked JSONL body; analyzed as it arrives
+//	POST /ingest?session=ID        chunked trace body; analyzed as it arrives.
+//	                               Content-Type selects the decoder:
+//	                               application/x-domino-trace for the binary
+//	                               columnar format; application/jsonl,
+//	                               application/x-ndjson, or application/json
+//	                               for JSONL; empty or
+//	                               application/octet-stream sniffs the first
+//	                               bytes; anything else is a 415.
 //	GET  /sessions                 all sessions with live summary stats
 //	GET  /report/{id}              full report (live snapshot while active)
 //	GET  /query                    longitudinal RCA-store queries (see below)
@@ -63,6 +72,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"mime"
 	"net/http"
 	"os"
 	"os/signal"
@@ -198,6 +208,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutCtx)
+		srv.exec.Close()
 		if *storeSpill != "" {
 			if err := spillStore(srv.store, *storeSpill); err != nil {
 				fmt.Fprintln(stderr, "dominod: spilling RCA store:", err)
@@ -263,6 +274,14 @@ type server struct {
 	opts     serverOptions
 	log      *slog.Logger
 
+	// exec is the shared work-stealing pool the ingest path pipelines
+	// analyzer steps onto: while a handler goroutine decodes chunk N+1
+	// from the wire, a pool worker pushes chunk N through the session's
+	// analyzer. It lives for the server's lifetime (Close drains it at
+	// shutdown); a closed pool degrades Submit to a synchronous call,
+	// so late uploads still complete.
+	exec *parallel.Executor
+
 	// m holds the observability surface: the /metrics registry, its
 	// hot-path instruments, and the flight-recorder name table.
 	m *metrics
@@ -279,8 +298,49 @@ type server struct {
 	count   atomic.Int64 // live sessions across all shards
 	nextID  atomic.Int64 // anonymous-session ID allocator
 	nextSeq atomic.Int64 // global registration order
-	saPool  sync.Pool    // recycled *stream.Analyzer
+	saPool  analyzerPool // recycled *stream.Analyzer
 	recPool sync.Pool    // recycled *[]trace.Record ingest chunks
+}
+
+// analyzerPool is a bounded free-list of detached stream analyzers.
+// Unlike sync.Pool, its contents survive GC cycles: an analyzer's
+// value is the window-evaluator and incremental scratch it has grown
+// to fleet working-set size, and letting the collector's victim-cache
+// sweep reclaim that scratch forces the next session to re-grow it
+// all — megabytes of avoidable allocation per evicted analyzer. The
+// list is capped at the concurrent-stream limit, so retained memory is
+// bounded by the same knob that bounds live ingest state; overflow is
+// dropped to the GC.
+type analyzerPool struct {
+	mu     sync.Mutex
+	free   []*stream.Analyzer
+	newFn  func() *stream.Analyzer
+	onMiss func()
+}
+
+// Get pops a recycled analyzer or builds a fresh one.
+func (p *analyzerPool) Get() *stream.Analyzer {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		sa := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return sa
+	}
+	p.mu.Unlock()
+	p.onMiss()
+	return p.newFn()
+}
+
+// Put returns a Reset analyzer to the free-list, dropping it when the
+// list is at capacity.
+func (p *analyzerPool) Put(sa *stream.Analyzer) {
+	p.mu.Lock()
+	if len(p.free) < cap(p.free) {
+		p.free = append(p.free, sa)
+	}
+	p.mu.Unlock()
 }
 
 // registryShards is the session-registry fan-out; a power of two so
@@ -331,6 +391,7 @@ func newServer(analyzer *core.Analyzer, opts serverOptions) *server {
 	s := &server{
 		analyzer:         analyzer,
 		limiter:          parallel.NewLimiter(opts.MaxStreams),
+		exec:             parallel.NewExecutor(0, nil),
 		opts:             opts,
 		log:              opts.Log,
 		m:                newMetrics(analyzer),
@@ -349,9 +410,14 @@ func newServer(analyzer *core.Analyzer, opts serverOptions) *server {
 	for i := range s.shards {
 		s.shards[i].sessions = map[string]*session{}
 	}
-	s.saPool.New = func() any {
-		s.m.poolMisses.Inc()
-		return s.newStream()
+	poolCap := opts.MaxStreams
+	if poolCap < 1 {
+		poolCap = 1
+	}
+	s.saPool = analyzerPool{
+		free:   make([]*stream.Analyzer, 0, poolCap),
+		newFn:  s.newStream,
+		onMiss: func() { s.m.poolMisses.Inc() },
 	}
 	s.recPool.New = func() any {
 		buf := make([]trace.Record, 0, ingestChunk)
@@ -425,7 +491,7 @@ func (s *server) register(id string) (*session, string, bool) {
 		delete(sh.sessions, id)
 		s.count.Add(-1)
 	}
-	sess := &session{id: id, seq: s.nextSeq.Add(1), state: "active", sa: s.saPool.Get().(*stream.Analyzer)}
+	sess := &session{id: id, seq: s.nextSeq.Add(1), state: "active", sa: s.saPool.Get()}
 	s.m.poolGets.Inc()
 	if s.opts.FlightRec > 0 {
 		sess.rec = obs.NewFlightRecorder(s.opts.FlightRec, s.m.names)
@@ -485,7 +551,63 @@ func (s *server) lookup(id string) *session {
 	return sh.sessions[id]
 }
 
+// The negotiated ingest wire formats. formatBinary is the compact
+// columnar trace encoding (internal/trace.WriteBinary); formatJSONL is
+// the line-delimited compatibility path.
+const (
+	formatJSONL  = "jsonl"
+	formatBinary = "binary"
+
+	// contentTypeBinary is the media type that selects the binary
+	// columnar decoder on /ingest.
+	contentTypeBinary = "application/x-domino-trace"
+)
+
+// jsonlContentTypes are the media types that select the JSONL decoder.
+var jsonlContentTypes = map[string]bool{
+	"application/jsonl":    true,
+	"application/x-ndjson": true,
+	"application/json":     true,
+}
+
+// supportedContentTypes is the 415 error's list of accepted media
+// types.
+const supportedContentTypes = contentTypeBinary +
+	", application/jsonl, application/x-ndjson, application/json, application/octet-stream"
+
+// negotiateFormat maps an ingest request's Content-Type onto a decode
+// format: formatBinary, formatJSONL, or "" when the first body bytes
+// should be sniffed instead (no Content-Type, or the generic
+// octet-stream). Any other media type is an error the handler turns
+// into a 415.
+func negotiateFormat(r *http.Request) (string, error) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return "", nil
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return "", fmt.Errorf("unparseable Content-Type %q (supported: %s)", ct, supportedContentTypes)
+	}
+	switch {
+	case mt == contentTypeBinary:
+		return formatBinary, nil
+	case jsonlContentTypes[mt]:
+		return formatJSONL, nil
+	case mt == "application/octet-stream":
+		return "", nil
+	}
+	return "", fmt.Errorf("unsupported Content-Type %q (supported: %s)", mt, supportedContentTypes)
+}
+
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	format, err := negotiateFormat(r)
+	if err != nil {
+		// Rejected before registration: an unsupported media type must
+		// not squat on its session ID or burn an admission slot.
+		httpError(w, http.StatusUnsupportedMediaType, err.Error())
+		return
+	}
 	sess, id, ok := s.register(r.URL.Query().Get("session"))
 	if !ok {
 		httpError(w, http.StatusConflict, fmt.Sprintf("session %q already exists", id))
@@ -497,69 +619,92 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.limiter.Release()
-	s.log.Debug("ingest started", "session", id)
 
-	// Records are decoded into a pooled chunk buffer and pushed in
-	// batches: one session-lock acquisition (and one pass of window
-	// evaluations) per chunk instead of per record, while /report
-	// snapshots interleave between chunks. Each phase is timed into its
-	// latency histogram: decode covers the JSONL read, step covers the
-	// analyzer pushes (window evaluations included).
-	sr := trace.NewStreamReader(r.Body)
-	chunk := s.recPool.Get().(*[]trace.Record)
-	defer func() {
-		*chunk = (*chunk)[:0]
-		s.recPool.Put(chunk)
-	}()
-	for {
-		*chunk = (*chunk)[:0]
-		var readErr error
+	// Build the negotiated decoder; with no (or a generic) Content-Type
+	// the first body bytes decide, so -stdin replays and bare curl
+	// octet-stream uploads still hit the right path.
+	// Binary readers recycle their block storage at depth 1: with the
+	// depth-one pipeline below, a batch is fully pushed (and its values
+	// copied into the analyzer's index) before the generation it lives
+	// in is decoded into again, so steady-state binary ingest allocates
+	// no per-record garbage.
+	var rr trace.RecordReader
+	switch format {
+	case formatBinary:
+		br := trace.NewBinaryStreamReader(r.Body)
+		br.Recycle(1)
+		rr = br
+	case formatJSONL:
+		rr = trace.NewStreamReader(r.Body)
+	default:
+		rr = trace.NewAutoStreamReader(r.Body)
+		if br, isBin := rr.(*trace.BinaryStreamReader); isBin {
+			br.Recycle(1)
+			format = formatBinary
+		} else {
+			format = formatJSONL
+		}
+	}
+	s.log.Debug("ingest started", "session", id, "format", format)
+
+	// Records decode into a chunk and push in batches — one
+	// session-lock acquisition (and one pass of window evaluations) per
+	// chunk instead of per record, while /report snapshots interleave
+	// between chunks. The two phases pipeline at depth one on the
+	// work-stealing pool: the analyzer step for chunk N runs on a pool
+	// worker while this goroutine decodes chunk N+1 from the wire. Two
+	// buffers alternate so the chunk being decoded never aliases the
+	// chunk being pushed; each phase is timed into its latency
+	// histogram (decode covers the wire read, step the analyzer pushes,
+	// window evaluations included).
+	decodeSeconds := s.m.decodeSeconds[format]
+	ingestRecords := s.m.ingestRecords[format]
+	var bufs [2]*[]trace.Record
+	for i := range bufs {
+		bufs[i] = s.recPool.Get().(*[]trace.Record)
+		defer func(b *[]trace.Record) {
+			*b = (*b)[:0]
+			s.recPool.Put(b)
+		}(bufs[i])
+	}
+	var pending chan error
+	waitPending := func() error {
+		if pending == nil {
+			return nil
+		}
+		err := <-pending
+		pending = nil
+		return err
+	}
+	cur := 0
+	var readErr error
+	for readErr == nil {
 		decodeStart := time.Now()
-		for len(*chunk) < ingestChunk {
-			rec, err := sr.Next()
-			if err != nil {
-				readErr = err
-				break
-			}
-			*chunk = append(*chunk, rec)
+		var batch []trace.Record
+		batch, readErr = rr.ReadBatch((*bufs[cur])[:0])
+		decodeSeconds.Observe(time.Since(decodeStart).Seconds())
+		if len(batch) == 0 {
+			continue
 		}
-		s.m.decodeSeconds.Observe(time.Since(decodeStart).Seconds())
-		timed := 0
-		stepStart := time.Now()
-		sess.mu.Lock()
-		var pushErr error
-		for _, rec := range *chunk {
-			if pushErr = sess.sa.Push(rec); pushErr != nil {
-				break
-			}
-			if _, hasTime := rec.Time(); hasTime {
-				timed++
-			}
-		}
-		if sess.rec != nil && len(*chunk) > 0 {
-			sess.rec.Record(obs.Event{
-				Kind: obs.EvIngestChunk,
-				Wall: time.Now().UnixNano(),
-				Sim:  int64(sess.sa.Watermark()),
-				N:    int64(len(*chunk)),
-			})
-		}
-		sess.mu.Unlock()
-		s.m.stepSeconds.Observe(time.Since(stepStart).Seconds())
-		s.m.recordsTotal.Add(int64(timed))
-		if pushErr != nil {
-			s.fail(sess, pushErr.Error())
-			httpError(w, http.StatusBadRequest, pushErr.Error())
+		if err := waitPending(); err != nil {
+			s.fail(sess, err.Error())
+			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		if readErr == io.EOF {
-			break
-		}
-		if readErr != nil {
-			s.fail(sess, readErr.Error())
-			httpError(w, http.StatusBadRequest, readErr.Error())
-			return
-		}
+		ch := make(chan error, 1)
+		pending = ch
+		s.exec.Submit(func(any) { ch <- s.pushChunk(sess, batch, ingestRecords) })
+		cur ^= 1
+	}
+	if err := waitPending(); err != nil {
+		s.fail(sess, err.Error())
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if readErr != io.EOF {
+		s.fail(sess, readErr.Error())
+		httpError(w, http.StatusBadRequest, readErr.Error())
+		return
 	}
 
 	sess.mu.Lock()
@@ -596,6 +741,42 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		"records", stats.Records, "windows", stats.Windows,
 		"late_dropped", stats.LateDropped, "chain_events", rep.TotalChainEvents())
 	writeJSON(w, http.StatusOK, s.reportPayload(sess))
+}
+
+// pushChunk pushes one decoded chunk through the session's analyzer
+// under the session lock. It is the pipelined "step" phase of ingest,
+// submitted to the work-stealing pool so it overlaps with the
+// handler's decode of the next chunk; depth-one pipelining (the
+// handler waits for chunk N before submitting chunk N+1) keeps at most
+// one step per session in flight, so session locks never queue and
+// chunk order is preserved. records is the per-format accepted-records
+// counter for the session's negotiated wire format.
+func (s *server) pushChunk(sess *session, recs []trace.Record, records *obs.Counter) error {
+	timed := 0
+	stepStart := time.Now()
+	sess.mu.Lock()
+	var pushErr error
+	for _, rec := range recs {
+		if pushErr = sess.sa.Push(rec); pushErr != nil {
+			break
+		}
+		if _, hasTime := rec.Time(); hasTime {
+			timed++
+		}
+	}
+	if sess.rec != nil {
+		sess.rec.Record(obs.Event{
+			Kind: obs.EvIngestChunk,
+			Wall: time.Now().UnixNano(),
+			Sim:  int64(sess.sa.Watermark()),
+			N:    int64(len(recs)),
+		})
+	}
+	sess.mu.Unlock()
+	s.m.stepSeconds.Observe(time.Since(stepStart).Seconds())
+	s.m.recordsTotal.Add(int64(timed))
+	records.Add(int64(timed))
+	return pushErr
 }
 
 // detachLocked finalizes a session's state, captures the summary and

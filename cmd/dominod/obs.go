@@ -50,10 +50,21 @@ type metrics struct {
 	storeQueries *obs.Counter
 	storeSpills  *obs.Counter
 
-	decodeSeconds *obs.Histogram
+	// ingestRecords and decodeSeconds are the per-wire-format ingest
+	// instruments, keyed by the format label value ("jsonl" or
+	// "binary"). Both series of each family are registered up front so
+	// scrapes see the full universe at zero; read-only after
+	// newMetrics, so hot-path lookups are lock-free.
+	ingestRecords map[string]*obs.Counter
+	decodeSeconds map[string]*obs.Histogram
+
 	stepSeconds   *obs.Histogram
 	insertSeconds *obs.Histogram
 }
+
+// ingestFormats is the label universe of the per-format ingest
+// instruments: the two wire formats /ingest negotiates.
+var ingestFormats = []string{formatJSONL, formatBinary}
 
 // newMetrics registers every statically-known instrument. The metric
 // names predate this registry (operators may already scrape them), so
@@ -80,9 +91,20 @@ func newMetrics(analyzer *core.Analyzer) *metrics {
 		storeQueries: reg.Counter("dominod_rcastore_queries_total", "RCA-store query evaluations."),
 		storeSpills:  reg.Counter("dominod_rcastore_spills_total", "RCA-store spill writes."),
 
-		decodeSeconds: reg.Histogram("dominod_ingest_decode_seconds", "Wall time decoding one ingest chunk from JSONL.", nil),
+		ingestRecords: map[string]*obs.Counter{},
+		decodeSeconds: map[string]*obs.Histogram{},
+
 		stepSeconds:   reg.Histogram("dominod_ingest_step_seconds", "Wall time pushing one decoded chunk through the analyzer.", nil),
 		insertSeconds: reg.Histogram("dominod_store_insert_seconds", "Wall time inserting one completed report into the RCA store.", nil),
+	}
+
+	// One labeled series per negotiated wire format, registered up
+	// front so both formats scrape at zero before their first ingest.
+	for _, f := range ingestFormats {
+		m.ingestRecords[f] = reg.Counter("dominod_ingest_records_total",
+			"Trace records accepted, by negotiated ingest wire format.", obs.L("format", f))
+		m.decodeSeconds[f] = reg.Histogram("dominod_ingest_decode_seconds",
+			"Wall time decoding one ingest chunk, by negotiated wire format.", nil, obs.L("format", f))
 	}
 
 	// One labeled series per cause/consequence class node, registered up

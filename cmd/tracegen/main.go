@@ -1,18 +1,22 @@
 // Command tracegen simulates a two-party WebRTC call over one of the
 // paper's 5G cell presets — or over any registered or user-supplied
-// scenario — and writes the resulting cross-layer trace as JSONL for
-// analysis with cmd/domino.
+// scenario — and writes the resulting cross-layer trace as JSONL or as
+// the compact binary columnar format for analysis with cmd/domino.
 //
 // Usage:
 //
 //	tracegen -cell amarisoft -duration 60 -seed 7 -o call.jsonl
 //	tracegen -scenario midcall-snr-collapse -duration 40 -o collapse.jsonl
+//	tracegen -format binary -o call.dmnt
 //	tracegen -scenario-file examples/scenarios/custom-degraded-cell.json
 //	tracegen -list-scenarios
 //
 // -cell selects a bare Table 1 preset; -scenario a registered scenario
 // by name; -scenario-file a declarative scenario JSON. The three are
 // mutually exclusive; with none given the amarisoft preset is used.
+// -format picks the trace encoding: jsonl (default, human-greppable)
+// or binary (compact columnar, the dominod fast path); cmd/domino and
+// dominod sniff the format on read, so either feeds the same pipeline.
 package main
 
 import (
@@ -39,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	listScenarios := fs.Bool("list-scenarios", false, "print the registered scenario catalog and exit")
 	duration := fs.Int("duration", 60, "call duration in seconds (must be > 0)")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	format := fs.String("format", "jsonl", "trace encoding: jsonl or binary")
 	out := fs.String("o", "-", "output path ('-' for stdout)")
 	csvDir := fs.String("csv", "", "also write packets.csv/dci.csv/stats.csv into this directory")
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if *format != "jsonl" && *format != "binary" {
+		return usageErr("-format must be jsonl or binary, got %q", *format)
+	}
 	if *listScenarios {
 		for _, s := range domino.Scenarios() {
 			fmt.Fprintf(stdout, "%-24s cell=%-12s %s\n", s.Name, s.Cell, s.Description)
@@ -122,7 +130,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		w = f
 	}
-	if err := domino.WriteTrace(w, set); err != nil {
+	write := domino.WriteTrace
+	if *format == "binary" {
+		write = domino.WriteTraceBinary
+	}
+	if err := write(w, set); err != nil {
 		return fail(err)
 	}
 	if *csvDir != "" {

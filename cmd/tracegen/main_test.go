@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"github.com/domino5g/domino"
 )
 
 // TestFlagValidation is the table-driven CLI contract, mirroring the
@@ -102,6 +105,12 @@ func TestFlagValidation(t *testing.T) {
 			code:       1,
 			wantStderr: "no such file",
 		},
+		{
+			name:       "unknown format",
+			args:       []string{"-format", "protobuf", "-duration", "1"},
+			code:       2,
+			wantStderr: "-format must be jsonl or binary",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -171,6 +180,50 @@ func TestGenerateByCellAliasAndScenario(t *testing.T) {
 				t.Fatalf("header %s\nwant %s and %s", header, tc.wantCell, tc.wantScen)
 			}
 		})
+	}
+}
+
+// TestBinaryFormatRoundTrips generates the same call in both encodings
+// and checks the binary output starts with the format magic, is
+// smaller than its JSONL twin, and decodes to the identical record
+// set.
+func TestBinaryFormatRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "call.jsonl")
+	binPath := filepath.Join(dir, "call.dmnt")
+	for _, args := range [][]string{
+		{"-duration", "3", "-seed", "11", "-o", jsonlPath},
+		{"-format", "binary", "-duration", "3", "-seed", "11", "-o", binPath},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("%v: exit %d: %s", args, code, stderr.String())
+		}
+	}
+	jsonlBlob, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binBlob, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(binBlob, []byte("DMNTRCB1")) {
+		t.Fatalf("binary output lacks the format magic: % x", binBlob[:16])
+	}
+	if len(binBlob) >= len(jsonlBlob) {
+		t.Fatalf("binary (%d bytes) is not smaller than JSONL (%d bytes)", len(binBlob), len(jsonlBlob))
+	}
+	want, err := domino.ReadTrace(bytes.NewReader(jsonlBlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := domino.ReadTrace(bytes.NewReader(binBlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("binary trace decodes to a different set than its JSONL twin")
 	}
 }
 

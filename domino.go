@@ -92,6 +92,12 @@ type (
 	TraceHeader = trace.Header
 	// TraceStreamReader decodes a JSONL trace one record at a time.
 	TraceStreamReader = trace.StreamReader
+	// TraceBinaryReader decodes a binary columnar trace one record (or
+	// one block batch) at a time.
+	TraceBinaryReader = trace.BinaryStreamReader
+	// TraceRecordReader is the streaming decode interface both trace
+	// readers implement: Next/Header plus batched ReadBatch.
+	TraceRecordReader = trace.RecordReader
 	// StreamAnalyzer incrementally analyzes one session's record stream
 	// with O(window) buffered state.
 	StreamAnalyzer = stream.Analyzer
@@ -223,17 +229,33 @@ func RecordFromReport(session string, start Time, rep *Report) RCARecord {
 	return rcastore.FromReport(session, start, rep)
 }
 
-// ReadTrace loads a JSONL trace set.
-func ReadTrace(r io.Reader) (*TraceSet, error) { return trace.ReadJSONL(r) }
+// ReadTrace loads a trace set in either encoding — JSONL or the
+// compact binary columnar format — sniffing the binary magic from the
+// stream's first bytes.
+func ReadTrace(r io.Reader) (*TraceSet, error) { return trace.ReadAuto(r) }
 
 // WriteTrace stores a trace set as JSONL, records merged in timestamp
 // order so the file replays through the streaming analyzer like the
 // live session did.
 func WriteTrace(w io.Writer, set *TraceSet) error { return trace.WriteJSONL(w, set) }
 
+// WriteTraceBinary stores a trace set in the compact binary columnar
+// format: dictionary-interned names, per-series columns with
+// delta-encoded timestamps and varint values in fixed-size blocks.
+// Records are emitted in exactly WriteTrace's merged timestamp order,
+// so decoding either encoding of the same set yields an identical
+// record stream — JSONL stays the compatibility path and differential
+// oracle.
+func WriteTraceBinary(w io.Writer, set *TraceSet) error { return trace.WriteBinary(w, set) }
+
 // NewTraceStreamReader returns an incremental JSONL trace decoder that
 // yields one record per Next call without buffering the full set.
 func NewTraceStreamReader(r io.Reader) *TraceStreamReader { return trace.NewStreamReader(r) }
+
+// NewTraceReader sniffs the stream's format — binary magic versus
+// JSONL — and returns the matching incremental decoder. Use it when
+// the producer cannot declare a content type (files, stdin).
+func NewTraceReader(r io.Reader) TraceRecordReader { return trace.NewAutoStreamReader(r) }
 
 // NewStreamAnalyzer returns an incremental analyzer for one session's
 // record stream, driving the given (shared, immutable) Analyzer. Push
@@ -244,12 +266,13 @@ func NewStreamAnalyzer(a *Analyzer, cfg StreamConfig) *StreamAnalyzer {
 	return stream.New(a, cfg)
 }
 
-// StreamRecords pipes a JSONL trace stream record-by-record into sa
-// and returns the final report. It is the streaming counterpart of
-// ReadTrace + Analyze: the full trace is never held in memory, only
-// the sliding detection window.
+// StreamRecords pipes a trace stream — JSONL or binary columnar, the
+// format is sniffed — record-by-record into sa and returns the final
+// report. It is the streaming counterpart of ReadTrace + Analyze: the
+// full trace is never held in memory, only the sliding detection
+// window.
 func StreamRecords(r io.Reader, sa *StreamAnalyzer) (*Report, error) {
-	sr := trace.NewStreamReader(r)
+	sr := trace.NewAutoStreamReader(r)
 	for {
 		rec, err := sr.Next()
 		if err == io.EOF {

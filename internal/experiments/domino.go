@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"github.com/domino5g/domino/internal/core"
-	"github.com/domino5g/domino/internal/parallel"
 	"github.com/domino5g/domino/internal/ran"
 	"github.com/domino5g/domino/internal/stats"
 )
@@ -39,7 +38,7 @@ func analyzeGroup(presets []ran.CellConfig, o Options) (*core.Report, error) {
 		}
 	}
 	reports := make([]*core.Report, len(jobs))
-	err = parallel.ForEach(o.Workers, len(jobs), func(i int) error {
+	err = o.forEach(len(jobs), func(i int) error {
 		j := jobs[i]
 		_, set, err := runCellSession(j.cfg, o.Duration, DeriveSeed(o.Seed, j.cfg.Name, j.session))
 		if err != nil {

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/domino5g/domino/internal/parallel"
 	"github.com/domino5g/domino/internal/sim"
 )
 
@@ -40,6 +41,26 @@ type Options struct {
 	// single experiment. Default 1 (fully sequential); any value
 	// produces identical artifact text for the same Seed.
 	Workers int
+
+	// exec, when set, is the shared work-stealing executor every
+	// fan-out in this options scope runs on. RunParallel installs one
+	// sized to Workers: because Executor.Map is caller-helps and
+	// nestable, the per-experiment session fan-outs ride the same pool
+	// — total parallelism stays bounded by Workers with no static
+	// outer×inner width split. Nil (the default) selects the plain
+	// parallel.ForEach pool per fan-out.
+	exec *parallel.Executor
+}
+
+// forEach is the package's single fan-out primitive: indexed, with
+// ForEach's determinism contract (per-index output slots, lowest
+// failing index's error). It dispatches onto the shared executor when
+// one is installed and otherwise onto a one-shot ForEach pool.
+func (o Options) forEach(n int, fn func(i int) error) error {
+	if o.exec != nil {
+		return o.exec.Map(n, func(i int, _ any) error { return fn(i) })
+	}
+	return parallel.ForEach(o.Workers, n, fn)
 }
 
 // Defaults fills zero fields.

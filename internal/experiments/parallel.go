@@ -55,29 +55,25 @@ func RunParallel(ids []string, opts Options) ([]Result, error) {
 // runRunners is the worker-pool core of RunParallel, split out so tests
 // can inject failing runners without touching the registry.
 //
-// Workers is a total budget, not a per-level width: when several
-// experiments run concurrently, the per-experiment session fan-out is
-// narrowed so outer × inner stays near opts.Workers instead of
-// squaring it. When the budget exceeds the experiment count the
-// spare width rounds up into the inner pools (modest, bounded
-// oversubscription); with workers <= len(ids) the inner width is 1
-// and the tail of a batch — one slow experiment left — runs its
-// sessions sequentially, a known cost of the static split. Worker
-// counts never affect artifact bytes, so the split is free to change.
+// Workers is a total budget enforced by a single shared work-stealing
+// executor: the experiment fan-out and every per-experiment session
+// fan-out run as nested Map calls on the same pool. Because Map is
+// caller-helps, a worker blocked on an inner fan-out executes that
+// fan-out's tasks itself, so total parallelism stays at opts.Workers
+// with no static outer×inner width split (and no sequential tail when
+// one slow experiment remains — its sessions spread over the whole
+// pool). Worker counts never affect artifact bytes.
 func runRunners(ids []string, runners []Runner, opts Options) ([]Result, error) {
 	opts = opts.Defaults()
-	inner := opts
-	if len(ids) > 1 && opts.Workers > 1 {
-		outer := opts.Workers
-		if outer > len(ids) {
-			outer = len(ids)
-		}
-		inner.Workers = (opts.Workers + outer - 1) / outer
+	if opts.Workers > 1 && opts.exec == nil {
+		ex := parallel.NewExecutor(opts.Workers, nil)
+		defer ex.Close()
+		opts.exec = ex
 	}
 	out := make([]Result, len(ids))
-	err := parallel.ForEach(opts.Workers, len(ids), func(i int) error {
+	err := opts.forEach(len(ids), func(i int) error {
 		start := time.Now()
-		res, err := runners[i](inner)
+		res, err := runners[i](opts)
 		if err != nil {
 			return fmt.Errorf("experiments: %s: %w", ids[i], err)
 		}
@@ -105,7 +101,7 @@ type cellRun struct {
 // count.
 func runPresetSessions(presets []ran.CellConfig, o Options) ([]cellRun, error) {
 	out := make([]cellRun, len(presets))
-	err := parallel.ForEach(o.Workers, len(presets), func(i int) error {
+	err := o.forEach(len(presets), func(i int) error {
 		cfg := presets[i]
 		s, set, err := runCellSession(cfg, o.Duration, DeriveSeed(o.Seed, cfg.Name, 0))
 		if err != nil {

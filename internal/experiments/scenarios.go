@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"github.com/domino5g/domino/internal/core"
-	"github.com/domino5g/domino/internal/parallel"
 	"github.com/domino5g/domino/internal/scenario"
 	"github.com/domino5g/domino/internal/stats"
 )
@@ -33,7 +32,7 @@ func scenariosCatalog(o Options) (Result, error) {
 		chainEvents          int
 	}
 	rows := make([]row, len(scenarios))
-	err = parallel.ForEach(o.Workers, len(scenarios), func(i int) error {
+	err = o.forEach(len(scenarios), func(i int) error {
 		s := scenarios[i]
 		sess, err := s.Build(DeriveSeed(o.Seed, "scenario:"+s.Name, 0))
 		if err != nil {

@@ -151,3 +151,83 @@ func BenchmarkCodecDecode(b *testing.B) {
 		b.ReportMetric(float64(allocs)/float64(len(lines)*b.N), "allocs/rec")
 	})
 }
+
+// BenchmarkCodecBinaryEncode measures the binary columnar encoder on
+// the same corpus as BenchmarkCodecEncode, so the JSONL and binary
+// rows sit side by side in BENCH_scenarios.json.
+func BenchmarkCodecBinaryEncode(b *testing.B) {
+	recs := benchCorpus()
+	hdr := Header{CellName: "bench", Duration: sim.Second}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	var allocs, bytesOut uint64
+	for i := 0; i < b.N; i++ {
+		allocs += mallocsDelta(func() {
+			buf.Reset()
+			w := NewBinaryWriter(&buf)
+			if err := w.WriteHeader(hdr); err != nil {
+				b.Fatal(err)
+			}
+			for k := range recs {
+				if err := w.WriteRecord(recs[k]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+		bytesOut = uint64(buf.Len())
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+	b.ReportMetric(float64(allocs)/float64(len(recs)*b.N), "allocs/rec")
+	b.ReportMetric(float64(bytesOut)/float64(len(recs)), "bytes/rec")
+}
+
+// BenchmarkCodecBinaryDecode measures block-columnar decode throughput
+// over the encoded corpus (the dominod binary ingest hot path).
+func BenchmarkCodecBinaryDecode(b *testing.B) {
+	recs := benchCorpus()
+	hdr := Header{CellName: "bench", Duration: sim.Second}
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.WriteHeader(hdr); err != nil {
+		b.Fatal(err)
+	}
+	for k := range recs {
+		if err := w.WriteRecord(recs[k]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	reader := bytes.NewReader(enc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var allocs uint64
+	for i := 0; i < b.N; i++ {
+		allocs += mallocsDelta(func() {
+			reader.Reset(enc)
+			sr := NewBinaryStreamReader(reader)
+			n := 0
+			for {
+				batch, err := sr.ReadBatch(nil)
+				if err != nil {
+					if err.Error() != "EOF" {
+						b.Fatal(err)
+					}
+					break
+				}
+				n += len(batch)
+			}
+			if n != len(recs)+1 {
+				b.Fatalf("decoded %d records", n)
+			}
+		})
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+	b.ReportMetric(float64(allocs)/float64(len(recs)*b.N), "allocs/rec")
+}

@@ -1,0 +1,1158 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/domino5g/domino/internal/netem"
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// Binary columnar trace format ("DMNTRCB1").
+//
+// JSONL decode is ~1 alloc/record but still byte-scans text for every
+// sample; at fleet ingest volume the codec is the ceiling. This file
+// implements the compact binary alternative. JSONL remains the
+// compatibility path and the differential oracle: WriteBinary emits
+// records in exactly WriteJSONL's merged order (forEachMerged), so the
+// record stream decoded from either encoding of the same set is
+// identical — codec_binary_test.go and the root-package scenario
+// differential pin that, mirroring PR 4's fast-vs-stdlib pattern.
+//
+// Layout (all integers varint-encoded unless noted):
+//
+//	stream := magic frame*
+//	magic  := "DMNTRCB1"                  (8 bytes, version in last byte)
+//	frame  := kind(1B) payloadLen(uvarint) payload
+//
+// Frame kinds:
+//
+//	dict   (1): count, then count x (len, bytes). Strings append to the
+//	            decoder's dictionary; IDs are assigned in order. The
+//	            first dict frame interns the five series names followed
+//	            by the cell (and scenario) name, so block tags are
+//	            self-describing dictionary references.
+//	header (2): cellID, scenarioID+1 (0 = none), duration (zigzag),
+//	            flags byte (bit0 = HasGNBLog).
+//	block  (3): n, then n tag bytes (dict IDs of series names, in the
+//	            global merged record order), then for each series
+//	            present, its column section (field-major: all
+//	            timestamps, then all of field 2, ...). Timestamps are
+//	            zigzag deltas against the previous record of the same
+//	            series, carried across blocks. Ints are zigzag varints,
+//	            unsigned fields uvarints, floats 8-byte little-endian
+//	            IEEE 754 bits, and per-record bools are packed into one
+//	            flags byte per record. Strings (gNB notes, RRC causes)
+//	            are dictionary references; new strings are emitted in a
+//	            dict frame immediately before the block that first uses
+//	            them.
+//	end    (4): total record count (header excluded) — lets the reader
+//	            fail fast on truncation instead of silently returning a
+//	            short stream.
+const (
+	binaryMagic = "DMNTRCB1"
+
+	frameDict   = 1
+	frameHeader = 2
+	frameBlock  = 3
+	frameEnd    = 4
+
+	// defaultBinaryBlockSize is the number of records per block: large
+	// enough to amortize per-block overheads (frame parse, column
+	// setup, one batch push downstream), small enough that a streaming
+	// consumer's watermark lag stays a fraction of a window.
+	defaultBinaryBlockSize = 512
+
+	// maxBinaryFramePayload bounds a single frame so a corrupt length
+	// prefix cannot make the reader attempt a multi-GB allocation.
+	maxBinaryFramePayload = 1 << 27
+)
+
+// Series indices; also the dictionary IDs of the series names because
+// the writer interns seriesNames first.
+const (
+	seriesDCI = iota
+	seriesGNB
+	seriesPkt
+	seriesStats
+	seriesRRC
+	numSeries
+)
+
+var seriesNames = [numSeries]string{"dci", "gnb", "pkt", "stats", "rrc"}
+
+// BinaryWriter encodes a trace stream into the binary columnar format:
+// a header first, then records in timestamp order, Close to flush the
+// final partial block and the end frame. The zero value is not usable;
+// use NewBinaryWriter.
+type BinaryWriter struct {
+	w      *bufio.Writer
+	dict   map[string]uint64
+	nextID uint64
+	fresh  []string // strings interned since the last dict frame
+
+	blockSize int
+	pend      []Record
+	lastAt    [numSeries]sim.Time
+	total     uint64
+
+	wroteHeader bool
+	closed      bool
+	scratch     []byte // frame payload build buffer, reused
+	err         error
+}
+
+// NewBinaryWriter returns a streaming binary encoder over w. The
+// caller must call Close to complete the stream.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriterSize(w, 1<<16)
+	}
+	return &BinaryWriter{
+		w:         bw,
+		dict:      make(map[string]uint64, 16),
+		blockSize: defaultBinaryBlockSize,
+		pend:      make([]Record, 0, defaultBinaryBlockSize),
+		scratch:   make([]byte, 0, 1<<14),
+	}
+}
+
+func (w *BinaryWriter) intern(s string) uint64 {
+	if id, ok := w.dict[s]; ok {
+		return id
+	}
+	id := w.nextID
+	w.nextID++
+	w.dict[s] = id
+	w.fresh = append(w.fresh, s)
+	return id
+}
+
+// flushDict emits a dict frame for strings interned since the last one.
+func (w *BinaryWriter) flushDict() {
+	if len(w.fresh) == 0 {
+		return
+	}
+	b := w.scratch[:0]
+	b = binary.AppendUvarint(b, uint64(len(w.fresh)))
+	for _, s := range w.fresh {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	w.fresh = w.fresh[:0]
+	w.emitFrame(frameDict, b)
+}
+
+func (w *BinaryWriter) emitFrame(kind byte, payload []byte) {
+	if w.err != nil {
+		return
+	}
+	// payload aliases w.scratch; keep it alive across the writes.
+	w.scratch = payload[:0]
+	if err := w.w.WriteByte(kind); err != nil {
+		w.err = err
+		return
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := w.w.Write(lenBuf[:n]); err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		w.err = err
+	}
+}
+
+// WriteHeader emits the dictionary bootstrap and header frames. It
+// must be called exactly once, before any record.
+func (w *BinaryWriter) WriteHeader(h Header) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.wroteHeader {
+		w.err = fmt.Errorf("trace: binary: duplicate header")
+		return w.err
+	}
+	w.wroteHeader = true
+	if _, err := w.w.WriteString(binaryMagic); err != nil {
+		w.err = err
+		return w.err
+	}
+	for _, s := range seriesNames {
+		w.intern(s)
+	}
+	cellID := w.intern(h.CellName)
+	scenRef := uint64(0)
+	if h.Scenario != "" {
+		scenRef = w.intern(h.Scenario) + 1
+	}
+	w.flushDict()
+	b := w.scratch[:0]
+	b = binary.AppendUvarint(b, cellID)
+	b = binary.AppendUvarint(b, scenRef)
+	b = binary.AppendVarint(b, int64(h.Duration))
+	var flags byte
+	if h.HasGNBLog {
+		flags |= 1
+	}
+	b = append(b, flags)
+	w.emitFrame(frameHeader, b)
+	return w.err
+}
+
+// WriteRecord appends one record to the stream. A Record carrying a
+// Header is routed to WriteHeader; all other records require the
+// header to have been written first. Records are expected in the same
+// merged timestamp order WriteJSONL emits — the format stores
+// per-series time deltas, so any order round-trips, but only sorted
+// input keeps the encoding compact and the stream replayable.
+func (w *BinaryWriter) WriteRecord(rec Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if rec.Header != nil {
+		return w.WriteHeader(*rec.Header)
+	}
+	if !w.wroteHeader {
+		w.err = fmt.Errorf("trace: binary: record before header")
+		return w.err
+	}
+	if rec.IsZero() {
+		w.err = fmt.Errorf("trace: binary: empty record")
+		return w.err
+	}
+	w.pend = append(w.pend, rec)
+	if len(w.pend) >= w.blockSize {
+		w.flushBlock()
+	}
+	return w.err
+}
+
+// Close flushes the final partial block, the end frame, and the
+// underlying buffered writer. The writer is unusable afterwards.
+func (w *BinaryWriter) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	if !w.wroteHeader {
+		w.err = fmt.Errorf("trace: binary: close before header")
+		return w.err
+	}
+	w.closed = true
+	w.flushBlock()
+	b := w.scratch[:0]
+	b = binary.AppendUvarint(b, w.total)
+	w.emitFrame(frameEnd, b)
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	return w.err
+}
+
+func appendFloatCol(b []byte, recs []Record, get func(Record) float64) []byte {
+	for _, r := range recs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(get(r)))
+	}
+	return b
+}
+
+// flushBlock encodes the pending records as (optionally) a dict frame
+// followed by one block frame.
+func (w *BinaryWriter) flushBlock() {
+	if w.err != nil || len(w.pend) == 0 {
+		return
+	}
+	// First pass: intern strings so the dict frame precedes the block,
+	// and split the block into per-series record lists.
+	var bySeries [numSeries][]Record
+	for _, rec := range w.pend {
+		switch {
+		case rec.DCI != nil:
+			bySeries[seriesDCI] = append(bySeries[seriesDCI], rec)
+		case rec.GNB != nil:
+			w.intern(rec.GNB.Note)
+			bySeries[seriesGNB] = append(bySeries[seriesGNB], rec)
+		case rec.Packet != nil:
+			bySeries[seriesPkt] = append(bySeries[seriesPkt], rec)
+		case rec.Stats != nil:
+			bySeries[seriesStats] = append(bySeries[seriesStats], rec)
+		case rec.RRC != nil:
+			w.intern(rec.RRC.Cause)
+			bySeries[seriesRRC] = append(bySeries[seriesRRC], rec)
+		}
+	}
+	w.flushDict()
+
+	b := w.scratch[:0]
+	b = binary.AppendUvarint(b, uint64(len(w.pend)))
+	for _, rec := range w.pend {
+		switch {
+		case rec.DCI != nil:
+			b = append(b, seriesDCI)
+		case rec.GNB != nil:
+			b = append(b, seriesGNB)
+		case rec.Packet != nil:
+			b = append(b, seriesPkt)
+		case rec.Stats != nil:
+			b = append(b, seriesStats)
+		case rec.RRC != nil:
+			b = append(b, seriesRRC)
+		}
+	}
+
+	if recs := bySeries[seriesDCI]; len(recs) > 0 {
+		last := w.lastAt[seriesDCI]
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.DCI.At-last))
+			last = r.DCI.At
+		}
+		w.lastAt[seriesDCI] = last
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.DCI.Dir))
+		}
+		for _, r := range recs {
+			b = binary.AppendUvarint(b, uint64(r.DCI.RNTI))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.DCI.OwnPRB))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.DCI.OtherPRB))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.DCI.MCS))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.DCI.TBSBits))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.DCI.UsedBits))
+		}
+		for _, r := range recs {
+			var f byte
+			if r.DCI.HARQRetx {
+				f |= 1
+			}
+			if r.DCI.RLCRetx {
+				f |= 2
+			}
+			if r.DCI.Proactive {
+				f |= 4
+			}
+			if r.DCI.Unused {
+				f |= 8
+			}
+			b = append(b, f)
+		}
+	}
+	if recs := bySeries[seriesGNB]; len(recs) > 0 {
+		last := w.lastAt[seriesGNB]
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.GNB.At-last))
+			last = r.GNB.At
+		}
+		w.lastAt[seriesGNB] = last
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.GNB.Kind))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.GNB.Dir))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.GNB.BufferBytes))
+		}
+		for _, r := range recs {
+			b = binary.AppendUvarint(b, uint64(r.GNB.RNTI))
+		}
+		for _, r := range recs {
+			b = binary.AppendUvarint(b, w.dict[r.GNB.Note])
+		}
+	}
+	if recs := bySeries[seriesPkt]; len(recs) > 0 {
+		last := w.lastAt[seriesPkt]
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.Packet.SentAt-last))
+			last = r.Packet.SentAt
+		}
+		w.lastAt[seriesPkt] = last
+		// Arrival is encoded relative to the same packet's send time:
+		// the one-way delay is small and positive in real traces.
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.Packet.Arrived-r.Packet.SentAt))
+		}
+		for _, r := range recs {
+			b = binary.AppendUvarint(b, r.Packet.Seq)
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.Packet.Kind))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.Packet.Dir))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.Packet.Size))
+		}
+	}
+	if recs := bySeries[seriesStats]; len(recs) > 0 {
+		last := w.lastAt[seriesStats]
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.Stats.At-last))
+			last = r.Stats.At
+		}
+		w.lastAt[seriesStats] = last
+		for _, r := range recs {
+			var f byte
+			if r.Stats.Local {
+				f |= 1
+			}
+			if r.Stats.FrozenNow {
+				f |= 2
+			}
+			b = append(b, f)
+		}
+		b = appendFloatCol(b, recs, func(r Record) float64 { return r.Stats.InboundFPS })
+		b = appendFloatCol(b, recs, func(r Record) float64 { return r.Stats.OutboundFPS })
+		b = appendFloatCol(b, recs, func(r Record) float64 { return r.Stats.VideoJBDelayMs })
+		b = appendFloatCol(b, recs, func(r Record) float64 { return r.Stats.AudioJBDelayMs })
+		b = appendFloatCol(b, recs, func(r Record) float64 { return r.Stats.MinJBDelayMs })
+		b = appendFloatCol(b, recs, func(r Record) float64 { return r.Stats.FreezeTotalMs })
+		b = appendFloatCol(b, recs, func(r Record) float64 { return r.Stats.TargetBitrateBps })
+		b = appendFloatCol(b, recs, func(r Record) float64 { return r.Stats.PushbackRateBps })
+		b = appendFloatCol(b, recs, func(r Record) float64 { return r.Stats.TrendlineSlope })
+		b = appendFloatCol(b, recs, func(r Record) float64 { return r.Stats.TrendlineThreshold })
+		b = appendFloatCol(b, recs, func(r Record) float64 { return r.Stats.AckedBitrateBps })
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.Stats.OutboundHeight))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.Stats.InboundHeight))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.Stats.OutstandingBytes))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.Stats.CongestionWindow))
+		}
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.Stats.GCCNetState))
+		}
+		for _, r := range recs {
+			b = binary.AppendUvarint(b, r.Stats.ConcealedSamples)
+		}
+		for _, r := range recs {
+			b = binary.AppendUvarint(b, r.Stats.TotalSamples)
+		}
+	}
+	if recs := bySeries[seriesRRC]; len(recs) > 0 {
+		last := w.lastAt[seriesRRC]
+		for _, r := range recs {
+			b = binary.AppendVarint(b, int64(r.RRC.At-last))
+			last = r.RRC.At
+		}
+		w.lastAt[seriesRRC] = last
+		for _, r := range recs {
+			var f byte
+			if r.RRC.Connected {
+				f |= 1
+			}
+			b = append(b, f)
+		}
+		for _, r := range recs {
+			b = binary.AppendUvarint(b, uint64(r.RRC.RNTI))
+		}
+		for _, r := range recs {
+			b = binary.AppendUvarint(b, w.dict[r.RRC.Cause])
+		}
+	}
+	w.total += uint64(len(w.pend))
+	w.pend = w.pend[:0]
+	w.emitFrame(frameBlock, b)
+}
+
+// WriteBinary serializes the set in the binary columnar format,
+// emitting records in exactly the merged timestamp order WriteJSONL
+// uses — decoding either encoding of the same set yields an identical
+// record stream. The caller's set is not mutated.
+func WriteBinary(w io.Writer, set *Set) error {
+	bw := NewBinaryWriter(w)
+	hdr := Header{CellName: set.CellName, Scenario: set.Scenario, Duration: set.Duration, HasGNBLog: set.HasGNBLog}
+	if err := bw.WriteHeader(hdr); err != nil {
+		return err
+	}
+	if err := forEachMerged(set, bw.WriteRecord); err != nil {
+		return err
+	}
+	return bw.Close()
+}
+
+// binCursor is a bounds-checked decode cursor over one frame payload.
+type binCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *binCursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("trace: binary: truncated or corrupt %s", what)
+	}
+}
+
+func (c *binCursor) uvarint(what string) uint64 {
+	// Single-byte fast path: small deltas and enum-like fields are the
+	// overwhelming majority of the column data.
+	if c.err == nil && c.off < len(c.b) && c.b[c.off] < 0x80 {
+		v := uint64(c.b[c.off])
+		c.off++
+		return v
+	}
+	return c.uvarintSlow(what)
+}
+
+func (c *binCursor) uvarintSlow(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *binCursor) varint(what string) int64 {
+	if c.err == nil && c.off < len(c.b) && c.b[c.off] < 0x80 {
+		u := uint64(c.b[c.off])
+		c.off++
+		return int64(u>>1) ^ -int64(u&1) // zigzag decode
+	}
+	return c.varintSlow(what)
+}
+
+func (c *binCursor) varintSlow(what string) int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *binCursor) byte(what string) byte {
+	if c.err != nil || c.off >= len(c.b) {
+		c.fail(what)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *binCursor) float(what string) float64 {
+	if c.err != nil || c.off+8 > len(c.b) {
+		c.fail(what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.b[c.off:]))
+	c.off += 8
+	return v
+}
+
+func (c *binCursor) bytes(n int, what string) []byte {
+	if c.err != nil || n < 0 || c.off+n > len(c.b) {
+		c.fail(what)
+		return nil
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v
+}
+
+// BinaryStreamReader decodes a binary columnar trace incrementally,
+// one block at a time. It implements RecordReader: Next yields the
+// header record first and then every data record in the stream's
+// (merged timestamp) order, exactly like the JSONL StreamReader over
+// the equivalent JSONL encoding. Decoded blocks use freshly allocated
+// backing storage, so records stay valid after the reader advances —
+// unless the consumer opts into bounded batch lifetimes with Recycle.
+type BinaryStreamReader struct {
+	r   *bufio.Reader
+	buf []byte // frame payload scratch, reused across frames
+
+	dict     []string
+	seriesOf []int8 // dict ID -> series index, -1 for plain strings
+
+	hdr     *Header
+	started bool // magic consumed
+	endSeen bool
+
+	recs   []Record // pending decoded block (freshly allocated)
+	pos    int
+	hdrRec [1]Record // backs the one-element header batch from ReadBatch
+	lastAt [numSeries]sim.Time
+	total  uint64
+
+	// ring, when non-empty, holds the recycled block-storage
+	// generations enabled by Recycle; ringPos is the generation the
+	// next block decodes into.
+	ring    []blockStorage
+	ringPos int
+
+	err error
+}
+
+// blockStorage is one generation of decoded-block backing arrays,
+// reused round-robin when the consumer opts into Recycle.
+type blockStorage struct {
+	recs  []Record
+	dcis  []DCIRecord
+	gnbs  []GNBLogRecord
+	pkts  []PacketRecord
+	stats []WebRTCStatsRecord
+	rrcs  []RRCRecord
+}
+
+// Recycle trades the default batch-lives-forever guarantee for an
+// allocation-free steady state: block storage is reused round-robin
+// across depth+1 generations, so records from a ReadBatch (or Next)
+// call are overwritten in place once depth further blocks have been
+// decoded. Consumers that copy what they keep — dominod's ingest
+// pipeline pushes a batch through the analyzer (which copies record
+// values into its index) while decoding the next — run with depth 1
+// and no per-record garbage. Call before the first read; depth <= 0
+// restores fresh allocation per block.
+func (sr *BinaryStreamReader) Recycle(depth int) {
+	if depth <= 0 {
+		sr.ring = nil
+		return
+	}
+	sr.ring = make([]blockStorage, depth+1)
+	sr.ringPos = 0
+}
+
+// grow returns s resized to n elements, reusing its backing array when
+// it is big enough. Callers overwrite every element, so stale contents
+// never need zeroing.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n, n+n/4)
+}
+
+// NewBinaryStreamReader returns a streaming decoder over r. The magic
+// header is validated lazily on the first read call.
+func NewBinaryStreamReader(r io.Reader) *BinaryStreamReader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	return &BinaryStreamReader{r: br, buf: make([]byte, 0, 1<<14)}
+}
+
+// Header returns the stream header once it has been read.
+func (sr *BinaryStreamReader) Header() (Header, bool) {
+	if sr.hdr == nil {
+		return Header{}, false
+	}
+	return *sr.hdr, true
+}
+
+func (sr *BinaryStreamReader) fail(err error) error {
+	if sr.err == nil {
+		sr.err = err
+	}
+	return sr.err
+}
+
+func (sr *BinaryStreamReader) failf(format string, args ...any) error {
+	return sr.fail(fmt.Errorf("trace: binary: "+format, args...))
+}
+
+// Next returns the next record. It returns io.EOF at a clean end of
+// stream (after a valid end frame); any other error — including plain
+// truncation — is terminal and repeated on later calls.
+func (sr *BinaryStreamReader) Next() (Record, error) {
+	if sr.err != nil {
+		return Record{}, sr.err
+	}
+	if sr.pos < len(sr.recs) {
+		rec := sr.recs[sr.pos]
+		sr.pos++
+		return rec, nil
+	}
+	for {
+		rec, n, err := sr.nextFrame()
+		if err != nil {
+			return Record{}, err
+		}
+		if rec != nil {
+			return *rec, nil
+		}
+		if n > 0 { // block decoded
+			rec := sr.recs[sr.pos]
+			sr.pos++
+			return rec, nil
+		}
+	}
+}
+
+// ReadBatch returns the next batch of records: the header record (as a
+// one-element batch) first, then one whole block per call. dst is
+// ignored — the binary decoder returns freshly allocated block storage
+// each call, so the batch stays valid while later batches are read. A
+// nil batch with io.EOF marks a clean end of stream.
+func (sr *BinaryStreamReader) ReadBatch(dst []Record) ([]Record, error) {
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if sr.pos < len(sr.recs) {
+		batch := sr.recs[sr.pos:]
+		sr.pos = len(sr.recs)
+		return batch, nil
+	}
+	for {
+		rec, n, err := sr.nextFrame()
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil {
+			sr.hdrRec[0] = *rec
+			return sr.hdrRec[:], nil
+		}
+		if n > 0 {
+			batch := sr.recs[sr.pos:]
+			sr.pos = len(sr.recs)
+			return batch, nil
+		}
+	}
+}
+
+// nextFrame consumes one frame. It returns a non-nil record for a
+// header frame, n > 0 with sr.recs/sr.pos primed for a block frame,
+// and (nil, 0, nil) for bookkeeping frames (dict, end) the caller
+// should loop past.
+func (sr *BinaryStreamReader) nextFrame() (*Record, int, error) {
+	if !sr.started {
+		magic := make([]byte, len(binaryMagic))
+		if _, err := io.ReadFull(sr.r, magic); err != nil {
+			return nil, 0, sr.failf("short magic header: %v", err)
+		}
+		if !bytes.Equal(magic, []byte(binaryMagic)) {
+			return nil, 0, sr.failf("bad magic %q (not a binary domino trace, or unsupported version)", magic)
+		}
+		sr.started = true
+	}
+	kind, err := sr.r.ReadByte()
+	if err == io.EOF {
+		if sr.endSeen {
+			return nil, 0, sr.fail(io.EOF)
+		}
+		return nil, 0, sr.failf("truncated stream: missing end frame")
+	}
+	if err != nil {
+		return nil, 0, sr.fail(err)
+	}
+	if sr.endSeen {
+		return nil, 0, sr.failf("trailing data after end frame")
+	}
+	plen, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return nil, 0, sr.failf("frame length: %v", err)
+	}
+	if plen > maxBinaryFramePayload {
+		return nil, 0, sr.failf("frame payload %d exceeds limit", plen)
+	}
+	if uint64(cap(sr.buf)) < plen {
+		sr.buf = make([]byte, plen)
+	}
+	payload := sr.buf[:plen]
+	if _, err := io.ReadFull(sr.r, payload); err != nil {
+		return nil, 0, sr.failf("truncated frame payload: %v", err)
+	}
+	switch kind {
+	case frameDict:
+		if err := sr.decodeDict(payload); err != nil {
+			return nil, 0, err
+		}
+		return nil, 0, nil
+	case frameHeader:
+		rec, err := sr.decodeHeader(payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		return rec, 0, nil
+	case frameBlock:
+		if sr.hdr == nil {
+			return nil, 0, sr.failf("block before header frame")
+		}
+		n, err := sr.decodeBlock(payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nil, n, nil
+	case frameEnd:
+		c := binCursor{b: payload}
+		want := c.uvarint("end frame count")
+		if c.err != nil {
+			return nil, 0, sr.fail(c.err)
+		}
+		if want != sr.total {
+			return nil, 0, sr.failf("record count mismatch: end frame says %d, decoded %d", want, sr.total)
+		}
+		sr.endSeen = true
+		return nil, 0, nil
+	default:
+		return nil, 0, sr.failf("unknown frame kind %d", kind)
+	}
+}
+
+func (sr *BinaryStreamReader) decodeDict(payload []byte) error {
+	c := binCursor{b: payload}
+	count := c.uvarint("dict count")
+	for i := uint64(0); i < count && c.err == nil; i++ {
+		n := c.uvarint("dict string length")
+		raw := c.bytes(int(n), "dict string")
+		if c.err != nil {
+			break
+		}
+		s := string(raw)
+		series := int8(-1)
+		for si, name := range seriesNames {
+			if s == name && len(sr.dict) == si {
+				series = int8(si)
+			}
+		}
+		sr.dict = append(sr.dict, s)
+		sr.seriesOf = append(sr.seriesOf, series)
+	}
+	if c.err != nil {
+		return sr.fail(c.err)
+	}
+	if c.off != len(payload) {
+		return sr.failf("dict frame has %d trailing bytes", len(payload)-c.off)
+	}
+	return nil
+}
+
+func (sr *BinaryStreamReader) dictString(id uint64, what string) (string, error) {
+	if id >= uint64(len(sr.dict)) {
+		return "", sr.failf("%s references unknown dict id %d", what, id)
+	}
+	return sr.dict[id], nil
+}
+
+func (sr *BinaryStreamReader) decodeHeader(payload []byte) (*Record, error) {
+	if sr.hdr != nil {
+		return nil, sr.failf("duplicate header frame")
+	}
+	c := binCursor{b: payload}
+	cellID := c.uvarint("header cell")
+	scenRef := c.uvarint("header scenario")
+	dur := c.varint("header duration")
+	flags := c.byte("header flags")
+	if c.err != nil {
+		return nil, sr.fail(c.err)
+	}
+	if c.off != len(payload) {
+		return nil, sr.failf("header frame has %d trailing bytes", len(payload)-c.off)
+	}
+	cell, err := sr.dictString(cellID, "header cell")
+	if err != nil {
+		return nil, err
+	}
+	hdr := Header{CellName: cell, Duration: sim.Time(dur), HasGNBLog: flags&1 != 0}
+	if scenRef != 0 {
+		if hdr.Scenario, err = sr.dictString(scenRef-1, "header scenario"); err != nil {
+			return nil, err
+		}
+	}
+	sr.hdr = &hdr
+	return &Record{Header: &hdr}, nil
+}
+
+func (sr *BinaryStreamReader) decodeBlock(payload []byte) (int, error) {
+	c := binCursor{b: payload}
+	n := c.uvarint("block count")
+	if c.err != nil {
+		return 0, sr.fail(c.err)
+	}
+	if n == 0 || n > maxBinaryFramePayload {
+		return 0, sr.failf("implausible block record count %d", n)
+	}
+	tags := c.bytes(int(n), "block tags")
+	if c.err != nil {
+		return 0, sr.fail(c.err)
+	}
+	var counts [numSeries]int
+	for _, t := range tags {
+		if int(t) >= len(sr.seriesOf) || sr.seriesOf[t] < 0 {
+			return 0, sr.failf("block tag %d is not an interned series name", t)
+		}
+		counts[sr.seriesOf[t]]++
+	}
+
+	// Backing storage: fresh per block by default, so records handed
+	// out stay valid while the reader advances (dominod pipelines a
+	// block's analyzer push against the next block's decode); drawn
+	// from the recycle ring when the consumer bounded batch lifetimes
+	// with Recycle. Every field of every element is overwritten below,
+	// so reused arrays need no zeroing.
+	var st *blockStorage
+	if len(sr.ring) > 0 {
+		st = &sr.ring[sr.ringPos]
+		sr.ringPos++
+		if sr.ringPos == len(sr.ring) {
+			sr.ringPos = 0
+		}
+	} else {
+		st = &blockStorage{}
+	}
+	st.recs = grow(st.recs, int(n))
+	recs := st.recs
+	var dcis []DCIRecord
+	var gnbs []GNBLogRecord
+	var pkts []PacketRecord
+	var stats []WebRTCStatsRecord
+	var rrcs []RRCRecord
+
+	if m := counts[seriesDCI]; m > 0 {
+		st.dcis = grow(st.dcis, m)
+		dcis = st.dcis
+		last := sr.lastAt[seriesDCI]
+		for i := range dcis {
+			last += sim.Time(c.varint("dci at"))
+			dcis[i].At = last
+		}
+		sr.lastAt[seriesDCI] = last
+		for i := range dcis {
+			dcis[i].Dir = netem.Direction(c.varint("dci dir"))
+		}
+		for i := range dcis {
+			dcis[i].RNTI = uint32(c.uvarint("dci rnti"))
+		}
+		for i := range dcis {
+			dcis[i].OwnPRB = int(c.varint("dci own_prb"))
+		}
+		for i := range dcis {
+			dcis[i].OtherPRB = int(c.varint("dci other_prb"))
+		}
+		for i := range dcis {
+			dcis[i].MCS = int(c.varint("dci mcs"))
+		}
+		for i := range dcis {
+			dcis[i].TBSBits = int(c.varint("dci tbs_bits"))
+		}
+		for i := range dcis {
+			dcis[i].UsedBits = int(c.varint("dci used_bits"))
+		}
+		for i := range dcis {
+			f := c.byte("dci flags")
+			dcis[i].HARQRetx = f&1 != 0
+			dcis[i].RLCRetx = f&2 != 0
+			dcis[i].Proactive = f&4 != 0
+			dcis[i].Unused = f&8 != 0
+		}
+	}
+	if m := counts[seriesGNB]; m > 0 {
+		st.gnbs = grow(st.gnbs, m)
+		gnbs = st.gnbs
+		last := sr.lastAt[seriesGNB]
+		for i := range gnbs {
+			last += sim.Time(c.varint("gnb at"))
+			gnbs[i].At = last
+		}
+		sr.lastAt[seriesGNB] = last
+		for i := range gnbs {
+			gnbs[i].Kind = GNBLogKind(c.varint("gnb kind"))
+		}
+		for i := range gnbs {
+			gnbs[i].Dir = netem.Direction(c.varint("gnb dir"))
+		}
+		for i := range gnbs {
+			gnbs[i].BufferBytes = int(c.varint("gnb buffer_bytes"))
+		}
+		for i := range gnbs {
+			gnbs[i].RNTI = uint32(c.uvarint("gnb rnti"))
+		}
+		for i := range gnbs {
+			id := c.uvarint("gnb note")
+			if c.err != nil {
+				break
+			}
+			s, err := sr.dictString(id, "gnb note")
+			if err != nil {
+				return 0, err
+			}
+			gnbs[i].Note = s
+		}
+	}
+	if m := counts[seriesPkt]; m > 0 {
+		st.pkts = grow(st.pkts, m)
+		pkts = st.pkts
+		last := sr.lastAt[seriesPkt]
+		for i := range pkts {
+			last += sim.Time(c.varint("pkt sent_at"))
+			pkts[i].SentAt = last
+		}
+		sr.lastAt[seriesPkt] = last
+		for i := range pkts {
+			pkts[i].Arrived = pkts[i].SentAt + sim.Time(c.varint("pkt delay"))
+		}
+		for i := range pkts {
+			pkts[i].Seq = c.uvarint("pkt seq")
+		}
+		for i := range pkts {
+			pkts[i].Kind = netem.MediaKind(c.varint("pkt kind"))
+		}
+		for i := range pkts {
+			pkts[i].Dir = netem.Direction(c.varint("pkt dir"))
+		}
+		for i := range pkts {
+			pkts[i].Size = int(c.varint("pkt size"))
+		}
+	}
+	if m := counts[seriesStats]; m > 0 {
+		st.stats = grow(st.stats, m)
+		stats = st.stats
+		last := sr.lastAt[seriesStats]
+		for i := range stats {
+			last += sim.Time(c.varint("stats at"))
+			stats[i].At = last
+		}
+		sr.lastAt[seriesStats] = last
+		for i := range stats {
+			f := c.byte("stats flags")
+			stats[i].Local = f&1 != 0
+			stats[i].FrozenNow = f&2 != 0
+		}
+		for i := range stats {
+			stats[i].InboundFPS = c.float("stats inbound_fps")
+		}
+		for i := range stats {
+			stats[i].OutboundFPS = c.float("stats outbound_fps")
+		}
+		for i := range stats {
+			stats[i].VideoJBDelayMs = c.float("stats video_jb_delay_ms")
+		}
+		for i := range stats {
+			stats[i].AudioJBDelayMs = c.float("stats audio_jb_delay_ms")
+		}
+		for i := range stats {
+			stats[i].MinJBDelayMs = c.float("stats min_jb_delay_ms")
+		}
+		for i := range stats {
+			stats[i].FreezeTotalMs = c.float("stats freeze_total_ms")
+		}
+		for i := range stats {
+			stats[i].TargetBitrateBps = c.float("stats target_bitrate_bps")
+		}
+		for i := range stats {
+			stats[i].PushbackRateBps = c.float("stats pushback_rate_bps")
+		}
+		for i := range stats {
+			stats[i].TrendlineSlope = c.float("stats trendline_slope")
+		}
+		for i := range stats {
+			stats[i].TrendlineThreshold = c.float("stats trendline_threshold")
+		}
+		for i := range stats {
+			stats[i].AckedBitrateBps = c.float("stats acked_bitrate_bps")
+		}
+		for i := range stats {
+			stats[i].OutboundHeight = int(c.varint("stats outbound_height"))
+		}
+		for i := range stats {
+			stats[i].InboundHeight = int(c.varint("stats inbound_height"))
+		}
+		for i := range stats {
+			stats[i].OutstandingBytes = int(c.varint("stats outstanding_bytes"))
+		}
+		for i := range stats {
+			stats[i].CongestionWindow = int(c.varint("stats congestion_window"))
+		}
+		for i := range stats {
+			stats[i].GCCNetState = GCCState(c.varint("stats gcc_net_state"))
+		}
+		for i := range stats {
+			stats[i].ConcealedSamples = c.uvarint("stats concealed_samples")
+		}
+		for i := range stats {
+			stats[i].TotalSamples = c.uvarint("stats total_samples")
+		}
+	}
+	if m := counts[seriesRRC]; m > 0 {
+		st.rrcs = grow(st.rrcs, m)
+		rrcs = st.rrcs
+		last := sr.lastAt[seriesRRC]
+		for i := range rrcs {
+			last += sim.Time(c.varint("rrc at"))
+			rrcs[i].At = last
+		}
+		sr.lastAt[seriesRRC] = last
+		for i := range rrcs {
+			f := c.byte("rrc flags")
+			rrcs[i].Connected = f&1 != 0
+		}
+		for i := range rrcs {
+			rrcs[i].RNTI = uint32(c.uvarint("rrc rnti"))
+		}
+		for i := range rrcs {
+			id := c.uvarint("rrc cause")
+			if c.err != nil {
+				break
+			}
+			s, err := sr.dictString(id, "rrc cause")
+			if err != nil {
+				return 0, err
+			}
+			rrcs[i].Cause = s
+		}
+	}
+	if c.err != nil {
+		return 0, sr.fail(c.err)
+	}
+	if c.off != len(payload) {
+		return 0, sr.failf("block frame has %d trailing bytes", len(payload)-c.off)
+	}
+
+	var next [numSeries]int
+	for i, t := range tags {
+		switch sr.seriesOf[t] {
+		case seriesDCI:
+			recs[i] = Record{DCI: &dcis[next[seriesDCI]]}
+			next[seriesDCI]++
+		case seriesGNB:
+			recs[i] = Record{GNB: &gnbs[next[seriesGNB]]}
+			next[seriesGNB]++
+		case seriesPkt:
+			recs[i] = Record{Packet: &pkts[next[seriesPkt]]}
+			next[seriesPkt]++
+		case seriesStats:
+			recs[i] = Record{Stats: &stats[next[seriesStats]]}
+			next[seriesStats]++
+		case seriesRRC:
+			recs[i] = Record{RRC: &rrcs[next[seriesRRC]]}
+			next[seriesRRC]++
+		}
+	}
+	sr.recs = recs
+	sr.pos = 0
+	sr.total += n
+	return int(n), nil
+}

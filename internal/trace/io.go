@@ -36,28 +36,12 @@ type jsonHeader struct {
 	HasGNBLog bool   `json:"has_gnb_log"`
 }
 
-// WriteJSONL serializes the set: a header line, then every record in
-// timestamp order. The caller's set is not mutated. Lines are built by
-// the hand-rolled append encoder in codec.go — byte-identical to the
-// reflection-based encoding this replaced (codec_test.go pins that
-// against the encoding/json oracle) with zero allocations per record.
-func WriteJSONL(w io.Writer, set *Set) error {
-	bw := bufio.NewWriter(w)
-	buf := make([]byte, 0, 1024)
-	flushLine := func(err error) error {
-		if err != nil {
-			return err
-		}
-		buf = append(buf, '\n')
-		_, werr := bw.Write(buf)
-		return werr
-	}
-	hdr := Header{CellName: set.CellName, Scenario: set.Scenario, Duration: set.Duration, HasGNBLog: set.HasGNBLog}
-	buf = appendHeaderLine(buf[:0], &hdr)
-	if err := flushLine(nil); err != nil {
-		return err
-	}
-
+// forEachMerged yields every record of the set (header excluded) in
+// the canonical emission order shared by WriteJSONL and WriteBinary:
+// merged by timestamp, stable within each source, ties broken by
+// source order (DCI, gNB, packet, stats, RRC). The yielded Records
+// point into the set; the set itself is never mutated.
+func forEachMerged(set *Set, fn func(Record) error) error {
 	// Per-source stable orderings by the same keys Set.Sort uses,
 	// computed on index slices so the set itself stays untouched.
 	order := func(n int, at func(i int) sim.Time) []int {
@@ -69,30 +53,25 @@ func WriteJSONL(w io.Writer, set *Set) error {
 		return idx
 	}
 	sources := []struct {
-		typ  string
-		idx  []int
-		at   func(i int) sim.Time
-		emit func(i int) error
+		idx []int
+		at  func(i int) sim.Time
+		rec func(i int) Record
 	}{
-		{"dci", order(len(set.DCI), func(i int) sim.Time { return set.DCI[i].At }),
+		{order(len(set.DCI), func(i int) sim.Time { return set.DCI[i].At }),
 			func(i int) sim.Time { return set.DCI[i].At },
-			func(i int) error { buf = appendDCILine(buf[:0], &set.DCI[i]); return flushLine(nil) }},
-		{"gnb", order(len(set.GNBLogs), func(i int) sim.Time { return set.GNBLogs[i].At }),
+			func(i int) Record { return Record{DCI: &set.DCI[i]} }},
+		{order(len(set.GNBLogs), func(i int) sim.Time { return set.GNBLogs[i].At }),
 			func(i int) sim.Time { return set.GNBLogs[i].At },
-			func(i int) error { buf = appendGNBLine(buf[:0], &set.GNBLogs[i]); return flushLine(nil) }},
-		{"pkt", order(len(set.Packets), func(i int) sim.Time { return set.Packets[i].SentAt }),
+			func(i int) Record { return Record{GNB: &set.GNBLogs[i]} }},
+		{order(len(set.Packets), func(i int) sim.Time { return set.Packets[i].SentAt }),
 			func(i int) sim.Time { return set.Packets[i].SentAt },
-			func(i int) error { buf = appendPacketLine(buf[:0], &set.Packets[i]); return flushLine(nil) }},
-		{"stats", order(len(set.Stats), func(i int) sim.Time { return set.Stats[i].At }),
+			func(i int) Record { return Record{Packet: &set.Packets[i]} }},
+		{order(len(set.Stats), func(i int) sim.Time { return set.Stats[i].At }),
 			func(i int) sim.Time { return set.Stats[i].At },
-			func(i int) error {
-				var err error
-				buf, err = appendStatsLine(buf[:0], &set.Stats[i])
-				return flushLine(err)
-			}},
-		{"rrc", order(len(set.RRC), func(i int) sim.Time { return set.RRC[i].At }),
+			func(i int) Record { return Record{Stats: &set.Stats[i]} }},
+		{order(len(set.RRC), func(i int) sim.Time { return set.RRC[i].At }),
 			func(i int) sim.Time { return set.RRC[i].At },
-			func(i int) error { buf = appendRRCLine(buf[:0], &set.RRC[i]); return flushLine(nil) }},
+			func(i int) Record { return Record{RRC: &set.RRC[i]} }},
 	}
 	pos := make([]int, len(sources))
 	for {
@@ -107,12 +86,52 @@ func WriteJSONL(w io.Writer, set *Set) error {
 			}
 		}
 		if best == -1 {
-			break
+			return nil
 		}
-		if err := sources[best].emit(sources[best].idx[pos[best]]); err != nil {
+		if err := fn(sources[best].rec(sources[best].idx[pos[best]])); err != nil {
 			return err
 		}
 		pos[best]++
+	}
+}
+
+// WriteJSONL serializes the set: a header line, then every record in
+// timestamp order. The caller's set is not mutated. Lines are built by
+// the hand-rolled append encoder in codec.go — byte-identical to the
+// reflection-based encoding this replaced (codec_test.go pins that
+// against the encoding/json oracle) with zero allocations per record.
+func WriteJSONL(w io.Writer, set *Set) error {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 1024)
+	hdr := Header{CellName: set.CellName, Scenario: set.Scenario, Duration: set.Duration, HasGNBLog: set.HasGNBLog}
+	buf = appendHeaderLine(buf[:0], &hdr)
+	buf = append(buf, '\n')
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	err := forEachMerged(set, func(rec Record) error {
+		var encErr error
+		switch {
+		case rec.DCI != nil:
+			buf = appendDCILine(buf[:0], rec.DCI)
+		case rec.GNB != nil:
+			buf = appendGNBLine(buf[:0], rec.GNB)
+		case rec.Packet != nil:
+			buf = appendPacketLine(buf[:0], rec.Packet)
+		case rec.Stats != nil:
+			buf, encErr = appendStatsLine(buf[:0], rec.Stats)
+		case rec.RRC != nil:
+			buf = appendRRCLine(buf[:0], rec.RRC)
+		}
+		if encErr != nil {
+			return encErr
+		}
+		buf = append(buf, '\n')
+		_, werr := bw.Write(buf)
+		return werr
+	})
+	if err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -123,8 +142,20 @@ func WriteJSONL(w io.Writer, set *Set) error {
 // immediately — a missing header means the input is not a trace, and
 // draining gigabytes before saying so helps nobody.
 func ReadJSONL(r io.Reader) (*Set, error) {
+	return readSet(NewStreamReader(r))
+}
+
+// ReadAuto deserializes a set from either trace encoding, sniffing the
+// binary magic the way NewAutoStreamReader does. It is the batch entry
+// point for callers that accept files in both formats.
+func ReadAuto(r io.Reader) (*Set, error) {
+	return readSet(NewAutoStreamReader(r))
+}
+
+// readSet drains any record stream into a sorted Set, enforcing the
+// header-first contract shared by both encodings.
+func readSet(sr RecordReader) (*Set, error) {
 	set := &Set{}
-	sr := NewStreamReader(r)
 	first := true
 	for {
 		rec, err := sr.Next()

@@ -2,10 +2,13 @@
 # obs_smoke.sh — end-to-end check of dominod's observability surface.
 #
 # Builds dominod, tracegen, and promlint; boots the service with the
-# pprof debug listener enabled; ingests one generated session; then
-# asserts:
+# pprof debug listener enabled; ingests one generated session per wire
+# format — JSONL and the compact binary columnar trace, each under its
+# declared Content-Type; then asserts:
 #   - /metrics passes the Prometheus text-exposition linter (promlint)
 #   - /healthz reports ok with build identity
+#   - both sessions completed and the per-format ingest counters moved
+#   - the binary session's report matches its JSONL twin
 #   - /debug/flightrec/{session} serves the pipeline flight recording
 #   - the pprof endpoint yields a CPU profile
 # Artifacts (scrape, flight recording, profile) land in OUT_DIR
@@ -45,16 +48,33 @@ grep -q '"status": "ok"' "$OUT_DIR/healthz.json" || {
     echo "dominod never became healthy"; cat "$OUT_DIR/dominod.log"; exit 1; }
 echo "   healthz: $(cat "$OUT_DIR/healthz.json" | tr -d '\n ')"
 
-echo "== ingesting one generated session"
+echo "== ingesting one generated session per wire format"
 "$BIN_DIR/tracegen" -cell amarisoft -duration 20 -seed 7 -o "$BIN_DIR/call.jsonl"
-curl -fsS -X POST --data-binary @"$BIN_DIR/call.jsonl" \
+"$BIN_DIR/tracegen" -format binary -cell amarisoft -duration 20 -seed 7 -o "$BIN_DIR/call.dmnt"
+curl -fsS -X POST -H 'Content-Type: application/jsonl' \
+    --data-binary @"$BIN_DIR/call.jsonl" \
     "http://$ADDR/ingest?session=smoke" >"$OUT_DIR/report.json"
+curl -fsS -X POST -H 'Content-Type: application/x-domino-trace' \
+    --data-binary @"$BIN_DIR/call.dmnt" \
+    "http://$ADDR/ingest?session=smoke-binary" >"$OUT_DIR/report-binary.json"
+
+# The binary upload must diagnose exactly like its JSONL twin — the
+# reports differ only in the session field.
+sed 's/"session": "[^"]*"/"session": ""/' "$OUT_DIR/report.json" >"$BIN_DIR/a.json"
+sed 's/"session": "[^"]*"/"session": ""/' "$OUT_DIR/report-binary.json" >"$BIN_DIR/b.json"
+cmp -s "$BIN_DIR/a.json" "$BIN_DIR/b.json" || {
+    echo "binary-ingested report diverges from JSONL twin"
+    diff "$BIN_DIR/a.json" "$BIN_DIR/b.json" | head -20; exit 1; }
 
 echo "== validating /metrics exposition"
 curl -fsS "http://$ADDR/metrics" >"$OUT_DIR/metrics.txt"
 "$BIN_DIR/promlint" "$OUT_DIR/metrics.txt"
-grep -q 'dominod_sessions_done_total 1' "$OUT_DIR/metrics.txt" || {
-    echo "metrics missing completed session"; exit 1; }
+grep -q 'dominod_sessions_done_total 2' "$OUT_DIR/metrics.txt" || {
+    echo "metrics missing completed sessions"; exit 1; }
+grep -q 'dominod_ingest_records_total{format="jsonl"} [1-9]' "$OUT_DIR/metrics.txt" || {
+    echo "metrics missing jsonl ingest records"; exit 1; }
+grep -q 'dominod_ingest_records_total{format="binary"} [1-9]' "$OUT_DIR/metrics.txt" || {
+    echo "metrics missing binary ingest records"; exit 1; }
 grep -q 'domino_build_info{' "$OUT_DIR/metrics.txt" || {
     echo "metrics missing build info"; exit 1; }
 
