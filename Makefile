@@ -10,8 +10,8 @@ GO ?= go
 # and trace-codec (JSONL and binary columnar) microbenchmarks
 # (internal/sim, internal/trace), the work-stealing batch executor
 # (internal/parallel), the fleet ingest benchmarks in both wire formats
-# (cmd/dominod) and the RCA-store insert and query benchmarks
-# (internal/rcastore). Every benchmark processes a sizable batch per
+# (cmd/dominod) and the RCA-store insert, query, and write-ahead
+# journal append/replay benchmarks (internal/rcastore). Every benchmark processes a sizable batch per
 # iteration, and the gate runs -count=5 with benchjson keeping the best
 # of the repeats — on shared hardware interference only makes numbers
 # worse, so best-of-5 is the stable estimate to gate on.
@@ -26,7 +26,7 @@ BENCH_GATE_PKGS = . ./internal/sim ./internal/trace ./internal/parallel ./cmd/do
 # by benchdiff -floor, which also fails if the benchmark vanishes.
 BENCH_FLOORS = -floor 'BenchmarkDominodIngestBinary:records/s=2565718'
 
-.PHONY: build vet fmt fmt-check test bench bench-json bench-diff dominod-smoke obs-smoke doclint mdcheck examples-check ci
+.PHONY: build vet fmt fmt-check test bench bench-json bench-diff dominod-smoke obs-smoke chaos-smoke doclint mdcheck examples-check ci
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,14 @@ dominod-smoke:
 obs-smoke:
 	sh scripts/obs_smoke.sh
 
+# Crash-recovery smoke: ingest a fleet workload, kill -9 dominod
+# mid-upload, restart on the surviving write-ahead journal, and assert
+# the final checkpoint is byte-identical to a graceful run's. Artifacts
+# (daemon logs, both checkpoints, the post-crash journal) land in
+# chaos-smoke/ (CI uploads them).
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
+
 # Documentation gates — CI fails on doc drift like it fails on tests.
 # doclint: every package needs a package comment; every exported façade
 # symbol (root package) needs a doc comment. mdcheck: relative links in
@@ -102,4 +110,4 @@ examples-check:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 
-ci: build vet fmt-check test bench bench-diff dominod-smoke obs-smoke doclint mdcheck examples-check
+ci: build vet fmt-check test bench bench-diff dominod-smoke obs-smoke chaos-smoke doclint mdcheck examples-check

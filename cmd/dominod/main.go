@@ -11,6 +11,9 @@
 //
 //	dominod [-addr :8077] [-graph chains.txt] [-max-streams 64]
 //	        [-lateness 0s] [-drop-late] [-flightrec 1024]
+//	        [-max-body N] [-admit-wait 2s] [-stream-idle 5m] [-drain 10s]
+//	        [-store-spill FILE] [-store-journal FILE] [-store-sync 1]
+//	        [-checkpoint-every 1024] [-fixed-clock 0]
 //	        [-debug-addr :6060] [-log-format text|json] [-v]
 //	dominod -stdin < call.jsonl
 //
@@ -24,14 +27,22 @@
 //	                               for JSONL; empty or
 //	                               application/octet-stream sniffs the first
 //	                               bytes; anything else is a 415.
+//	                               An X-Domino-Seq header opts into the
+//	                               resumable contract (see internal/ingest):
+//	                               the body starts at that record index,
+//	                               X-Domino-Eos: 1 marks the final chunk,
+//	                               and mid-stream failures suspend the
+//	                               session for retry instead of failing it.
 //	GET  /sessions                 all sessions with live summary stats
+//	GET  /sessions/{id}/watermark  accepted-record count, the resume point
 //	GET  /report/{id}              full report (live snapshot while active)
 //	GET  /query                    longitudinal RCA-store queries (see below)
 //	GET  /incidents/similar        nearest prior incidents by fired-node signature
 //	GET  /metrics                  Prometheus text exposition (0.0.4, HELP/TYPE)
 //	GET  /debug/flightrec/{id}     pipeline flight recording, JSONL (?wall=0
 //	                               for the deterministic replay-diff view)
-//	GET  /healthz                  readiness probe + build identity
+//	GET  /healthz                  readiness probe + build identity; reports
+//	                               "draining" (503) during SIGTERM drain
 //
 // -debug-addr serves net/http/pprof on a separate listener. Logging
 // goes through log/slog (-log-format json for structured output, -v
@@ -40,11 +51,24 @@
 // Session bodies are analyzed record-by-record as they upload, so a
 // live collector can keep one chunked POST open for the whole call and
 // poll /report/{id} for diagnosis in flight. Admission is bounded by
-// -max-streams (a parallel.Limiter): excess uploads block until a slot
-// frees, giving natural backpressure instead of unbounded memory. With
-// -stdin the service analyzes a single session from standard input and
-// prints the final report, mirroring cmd/domino but via the streaming
-// path.
+// -max-streams (a parallel.Limiter): saturation past an -admit-wait
+// queue-wait sheds load with 429 + Retry-After instead of blocking
+// forever, request bodies are capped at -max-body (413), and clients
+// stalled longer than -stream-idle between chunks are disconnected.
+// With -stdin the service analyzes a single session from standard
+// input and prints the final report, mirroring cmd/domino but via the
+// streaming path.
+//
+// Durability: with -store-spill (or an explicit -store-journal) every
+// completed report is also appended to a crash-consistent write-ahead
+// journal, fsync-batched per -store-sync and folded into an
+// atomic-rename checkpoint every -checkpoint-every reports and at
+// shutdown. After a crash the store recovers byte-identical to a
+// graceful shutdown: checkpoint load, journal tail replay (a torn
+// final record is discarded), session-level dedup across the
+// checkpoint crash window. SIGTERM drains in-flight sessions up to
+// -drain before the final checkpoint, with /healthz reporting
+// "draining" so routers fail over first.
 //
 // Every completed session's report is also collapsed into the embedded
 // fleet RCA store (internal/rcastore), so diagnosis survives session
@@ -68,6 +92,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -86,6 +111,7 @@ import (
 
 	"github.com/domino5g/domino"
 	"github.com/domino5g/domino/internal/core"
+	"github.com/domino5g/domino/internal/ingest"
 	"github.com/domino5g/domino/internal/obs"
 	"github.com/domino5g/domino/internal/parallel"
 	"github.com/domino5g/domino/internal/rcastore"
@@ -113,6 +139,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (disabled when empty)")
 	flightRec := fs.Int("flightrec", 1024, "per-session flight-recorder capacity in events (0 disables)")
+	maxBody := fs.Int64("max-body", 256<<20, "maximum /ingest request body bytes (0 = unlimited)")
+	admitWait := fs.Duration("admit-wait", 2*time.Second, "bounded wait for an ingest slot before shedding with 429 (0 = block)")
+	streamIdle := fs.Duration("stream-idle", 5*time.Minute, "per-chunk read deadline on ingest bodies; slow clients are cut, not held (0 disables)")
+	drainWait := fs.Duration("drain", 10*time.Second, "SIGTERM drain deadline for in-flight sessions before the final checkpoint")
+	storeJournal := fs.String("store-journal", "", "RCA-store write-ahead journal path (default <store-spill>.wal when -store-spill is set; \"off\" disables)")
+	storeSync := fs.Int("store-sync", 1, "journal appends per fsync (group commit; 1 = every report durable on ack)")
+	checkpointEvery := fs.Int("checkpoint-every", 1024, "journal appends between automatic checkpoints (0 = checkpoint only at shutdown)")
+	fixedClock := fs.Int64("fixed-clock", 0, "fix the fleet clock to this microsecond timestamp for deterministic runs (0 = wall clock)")
 	verbose := fs.Bool("v", false, "log per-session lifecycle events (debug level)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -162,9 +196,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DropLate:    *dropLate,
 		StoreBlocks: *storeBlocks,
 		FlightRec:   *flightRec,
+		MaxBody:     *maxBody,
+		AdmitWait:   *admitWait,
+		StreamIdle:  *streamIdle,
 		Log:         logger,
 	}
-	if *storeSpill != "" {
+	if *fixedClock != 0 {
+		at := sim.Time(*fixedClock)
+		opts.Now = func() sim.Time { return at }
+	}
+	journalPath := *storeJournal
+	if journalPath == "" && *storeSpill != "" {
+		journalPath = *storeSpill + ".wal"
+	}
+	if journalPath == "off" {
+		journalPath = ""
+	}
+	switch {
+	case !*stdin && journalPath != "":
+		// Durable mode: crash-recover checkpoint + journal tail, then
+		// keep journaling. The spill file doubles as the checkpoint.
+		ckptPath := *storeSpill
+		if ckptPath == "" {
+			ckptPath = journalPath + ".ckpt"
+		}
+		st, j, rstats, err := rcastore.Recover(ckptPath, journalPath,
+			rcastore.Options{MaxBlocks: *storeBlocks},
+			rcastore.JournalOptions{SyncEvery: *storeSync})
+		if err != nil {
+			fmt.Fprintln(stderr, "dominod: recovering RCA store:", err)
+			return 1
+		}
+		opts.Store = st
+		opts.Journal = j
+		opts.CheckpointPath = ckptPath
+		opts.CheckpointEvery = *checkpointEvery
+		opts.Recovery = &rstats
+		logger.Info("RCA store recovered",
+			"checkpoint", ckptPath, "journal", journalPath,
+			"checkpoint_rows", rstats.CheckpointRows, "replayed", rstats.Replayed,
+			"deduped", rstats.Deduped, "torn_tail", rstats.TornTail)
+	case *storeSpill != "":
 		if f, err := os.Open(*storeSpill); err == nil {
 			st, err := rcastore.Load(f, rcastore.Options{MaxBlocks: *storeBlocks})
 			f.Close()
@@ -184,7 +256,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return srv.runStdin(os.Stdin, stdout, stderr)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	// ReadTimeout deliberately stays 0: ingest bodies are long-lived
+	// chunked streams that legitimately outlive any whole-request
+	// budget. Slow clients are bounded per-chunk by -stream-idle read
+	// deadlines instead; header parsing and idle keep-alives get hard
+	// timeouts here.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -205,11 +287,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "dominod:", err)
 		return 1
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Drain: /healthz flips to "draining" and new sessions are
+		// rejected while in-flight uploads run to the deadline; only
+		// then is the final state checkpointed.
+		srv.draining.Store(true)
+		srv.log.Info("draining", "deadline", *drainWait)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
-		_ = httpSrv.Shutdown(shutCtx)
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			srv.log.Warn("drain deadline exceeded, cutting in-flight sessions", "err", err)
+		}
 		srv.exec.Close()
-		if *storeSpill != "" {
+		switch {
+		case srv.journal != nil:
+			if err := srv.journal.Checkpoint(srv.store, srv.opts.CheckpointPath); err != nil {
+				fmt.Fprintln(stderr, "dominod: final checkpoint:", err)
+				return 1
+			}
+			if err := srv.journal.Close(); err != nil {
+				fmt.Fprintln(stderr, "dominod: closing journal:", err)
+				return 1
+			}
+			srv.log.Info("RCA store checkpointed", "path", srv.opts.CheckpointPath, "stats", srv.store.Stats().String())
+		case *storeSpill != "":
 			if err := spillStore(srv.store, *storeSpill); err != nil {
 				fmt.Fprintln(stderr, "dominod: spilling RCA store:", err)
 				return 1
@@ -260,6 +360,29 @@ type serverOptions struct {
 	// deterministic clock here.
 	Now func() sim.Time
 	Log *slog.Logger
+
+	// MaxBody caps /ingest request bodies in bytes; over-limit uploads
+	// get 413 and release their admission slot. 0 is unlimited.
+	MaxBody int64
+	// AdmitWait bounds the queue-wait for an ingest slot; saturation
+	// past it sheds with 429 + Retry-After. 0 blocks (legacy behavior).
+	AdmitWait time.Duration
+	// StreamIdle is the per-chunk read deadline on ingest bodies; a
+	// client stalled longer than this is disconnected instead of
+	// holding its slot. 0 disables.
+	StreamIdle time.Duration
+	// Journal, when non-nil, receives every record inserted into the
+	// store; with CheckpointPath it makes the store crash-consistent.
+	Journal *rcastore.Journal
+	// CheckpointPath is where Journal checkpoints the store (atomic
+	// rename); required when Journal is set.
+	CheckpointPath string
+	// CheckpointEvery checkpoints after this many journal appends;
+	// 0 checkpoints only at shutdown.
+	CheckpointEvery int
+	// Recovery, when non-nil, carries the boot recovery stats so
+	// newServer can surface them on /metrics.
+	Recovery *rcastore.RecoveryStats
 }
 
 // server multiplexes concurrent session streams over one shared
@@ -291,6 +414,17 @@ type server struct {
 	// pooled analyzer state and registry eviction.
 	store *rcastore.Store
 	now   func() sim.Time
+
+	// journal (nil when durability is off) write-ahead-logs every store
+	// insert; journaled counts appends since the last checkpoint and
+	// ckptMu single-flights the async checkpoints they trigger.
+	journal   *rcastore.Journal
+	journaled atomic.Int64
+	ckptMu    sync.Mutex
+
+	// draining flips at SIGTERM: /healthz reports it and new sessions
+	// are rejected while in-flight uploads finish.
+	draining atomic.Bool
 
 	causeClass, consequenceClass map[string]bool
 
@@ -365,11 +499,22 @@ type session struct {
 	// at the retention cap never contends with a session mid-chunk.
 	finished atomic.Bool
 
+	// ingesting serializes uploads: at most one POST drives a session's
+	// analyzer at a time, so a resumed session cannot race its own
+	// abandoned predecessor request.
+	ingesting atomic.Bool
+
 	mu    sync.Mutex
 	sa    *stream.Analyzer // non-nil while ingesting; recycled after
 	state string           // "active", "done", "failed"
 	err   string
 	final *core.Report
+
+	// accepted is the resumable-ingest watermark: decoded records
+	// (header included, as record 0) pushed through the analyzer so
+	// far. A retrying client replays from here; the handler dedups the
+	// already-accepted prefix of its body.
+	accepted int
 
 	// Captured when the analyzer is detached at completion, so
 	// /sessions and /report keep serving finished sessions without
@@ -404,6 +549,15 @@ func newServer(analyzer *core.Analyzer, opts serverOptions) *server {
 		s.store = rcastore.New(rcastore.Options{MaxBlocks: opts.StoreBlocks})
 	}
 	s.store.SetHooks(&storeHooks{m: s.m})
+	if opts.Journal != nil {
+		s.journal = opts.Journal
+		s.journal.SetHooks(&journalHooks{m: s.m})
+	}
+	if opts.Recovery != nil {
+		// Recovery ran before this registry existed; surface its stats.
+		s.m.journalReplayed.Add(int64(opts.Recovery.Replayed))
+		s.m.journalDeduped.Add(int64(opts.Recovery.Deduped))
+	}
 	if s.now == nil {
 		s.now = func() sim.Time { return sim.Time(time.Now().UnixMicro()) }
 	}
@@ -447,6 +601,7 @@ func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /sessions", s.handleSessions)
+	mux.HandleFunc("GET /sessions/{id}/watermark", s.handleWatermark)
 	mux.HandleFunc("GET /report/{id}", s.handleReport)
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /incidents/similar", s.handleSimilar)
@@ -492,6 +647,10 @@ func (s *server) register(id string) (*session, string, bool) {
 		s.count.Add(-1)
 	}
 	sess := &session{id: id, seq: s.nextSeq.Add(1), state: "active", sa: s.saPool.Get()}
+	// Born ingesting: the registering request holds the upload flag
+	// from the instant the session is visible, so a racing resume
+	// attempt can never drive the same analyzer.
+	sess.ingesting.Store(true)
 	s.m.poolGets.Inc()
 	if s.opts.FlightRec > 0 {
 		sess.rec = obs.NewFlightRecorder(s.opts.FlightRec, s.m.names)
@@ -503,6 +662,93 @@ func (s *server) register(id string) (*session, string, bool) {
 	s.evict()
 	s.m.sessionsTotal.Inc()
 	return sess, id, true
+}
+
+// ingestStatusReplay is registerOrResume's "session already completed"
+// disposition: serve the stored report again (idempotent retry of a
+// client that lost the final response).
+const ingestStatusReplay = -1
+
+// retryAfterOverload is the Retry-After value (seconds) sent with 429
+// load-shed responses.
+const retryAfterOverload = "1"
+
+// ingestHandoverWait bounds how long a resumable retry waits for the
+// interrupted upload's handler — which may not yet have observed its
+// dead connection — to release the session before the retry is shed
+// with a retryable 503.
+const ingestHandoverWait = 2 * time.Second
+
+// acquireIngest takes the session's upload-serialization flag. A
+// retry can race the handler it is replacing: the client saw the
+// connection reset, but the server side of that upload is still
+// draining toward its own read error and holds the flag. Waiting here
+// keeps that handover invisible to well-behaved clients; a session
+// still owned after ingestHandoverWait is genuinely busy.
+func acquireIngest(sess *session) bool {
+	deadline := time.Now().Add(ingestHandoverWait)
+	for !sess.ingesting.CompareAndSwap(false, true) {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// registerOrResume resolves an ingest request onto a session. It
+// returns the session, its (possibly allocated) ID, whether this
+// request resumes an existing active session, and a disposition:
+// http.StatusOK to proceed (the session's ingesting flag is then held
+// by the caller), ingestStatusReplay when the session already
+// completed, StatusServiceUnavailable when another upload still owns
+// it after the handover wait (transient — the client retries),
+// StatusConflict when a non-resumable request reuses an existing ID,
+// or StatusPreconditionFailed when seq starts past the session's
+// watermark (the client must probe and replay).
+func (s *server) registerOrResume(id string, resumable bool, seq int) (*session, string, bool, int) {
+	if resumable && id != "" {
+		if sess := s.lookup(id); sess != nil {
+			sess.mu.Lock()
+			state := sess.state
+			sess.mu.Unlock()
+			switch state {
+			case "done":
+				return sess, id, false, ingestStatusReplay
+			case "active":
+				if !acquireIngest(sess) {
+					return sess, id, false, http.StatusServiceUnavailable
+				}
+				// Re-read under the flag: the previous upload may have
+				// finished the session before releasing it.
+				sess.mu.Lock()
+				state, acc := sess.state, sess.accepted
+				sess.mu.Unlock()
+				switch {
+				case state == "done":
+					sess.ingesting.Store(false)
+					return sess, id, false, ingestStatusReplay
+				case state == "active" && seq > acc:
+					sess.ingesting.Store(false)
+					return sess, id, false, http.StatusPreconditionFailed
+				case state == "active":
+					return sess, id, true, http.StatusOK
+				}
+				// Failed while we raced; release and re-register below.
+				sess.ingesting.Store(false)
+			}
+		}
+	}
+	if seq > 0 {
+		// A fresh session has accepted nothing; a nonzero starting
+		// offset is a gap before the stream begins.
+		return nil, id, false, http.StatusPreconditionFailed
+	}
+	sess, id, ok := s.register(id)
+	if !ok {
+		return nil, id, false, http.StatusConflict
+	}
+	return sess, id, false, http.StatusOK
 }
 
 // evict bounds retention: once MaxSessions is reached, the globally
@@ -601,6 +847,12 @@ func negotiateFormat(r *http.Request) (string, error) {
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.m.ingestRejected["draining"].Inc()
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "draining: this node is shutting down, retry elsewhere")
+		return
+	}
 	format, err := negotiateFormat(r)
 	if err != nil {
 		// Rejected before registration: an unsupported media type must
@@ -608,17 +860,83 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnsupportedMediaType, err.Error())
 		return
 	}
-	sess, id, ok := s.register(r.URL.Query().Get("session"))
-	if !ok {
-		httpError(w, http.StatusConflict, fmt.Sprintf("session %q already exists", id))
-		return
+	// The resumable contract rides on two headers: X-Domino-Seq (the
+	// record index this body starts at; presence opts the session in)
+	// and X-Domino-Eos (this request carries the end of the session).
+	// Without them the request is the legacy one-shot contract — body
+	// EOF ends the session, any mid-stream error fails it.
+	seq, resumable := 0, false
+	if v := r.Header.Get(ingest.HeaderSeq); v != "" {
+		seq, err = strconv.Atoi(v)
+		if err != nil || seq < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad %s %q: want a record index", ingest.HeaderSeq, v))
+			return
+		}
+		resumable = true
 	}
-	if err := s.limiter.Acquire(r.Context()); err != nil {
-		s.fail(sess, fmt.Sprintf("admission aborted: %v", err))
+	eos := !resumable || r.Header.Get(ingest.HeaderEos) == "1"
+
+	// Admission before registration: a shed upload leaves no session
+	// behind, and a registered session is never parked waiting on a
+	// slot it may hold forever.
+	if err := s.limiter.AcquireTimeout(r.Context(), s.opts.AdmitWait); err != nil {
+		if errors.Is(err, parallel.ErrAcquireTimeout) {
+			s.m.ingestRejected["overload"].Inc()
+			w.Header().Set("Retry-After", retryAfterOverload)
+			httpError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("ingest capacity saturated (%d streams); retry after backoff", s.limiter.Cap()))
+			return
+		}
 		httpError(w, http.StatusServiceUnavailable, "ingest capacity saturated and client gave up")
 		return
 	}
 	defer s.limiter.Release()
+
+	sess, id, resumed, status := s.registerOrResume(r.URL.Query().Get("session"), resumable, seq)
+	switch status {
+	case http.StatusOK:
+	case ingestStatusReplay:
+		// Idempotent retry of a session that already completed: the
+		// client lost the final response, not the session. Serve the
+		// report again instead of failing the retry.
+		writeJSON(w, http.StatusOK, s.reportPayload(sess))
+		return
+	case http.StatusConflict:
+		httpError(w, http.StatusConflict, fmt.Sprintf("session %q already exists", id))
+		return
+	case http.StatusServiceUnavailable:
+		s.m.ingestRejected["busy"].Inc()
+		w.Header().Set("Retry-After", retryAfterOverload)
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("session %q is still owned by an interrupted upload; retry after backoff", id))
+		return
+	case http.StatusPreconditionFailed:
+		s.m.ingestRejected["seq_gap"].Inc()
+		httpError(w, http.StatusPreconditionFailed,
+			fmt.Sprintf("sequence gap: body starts at record %d but session %q has accepted fewer; probe the watermark", seq, id))
+		return
+	}
+	defer sess.ingesting.Store(false)
+	skip := 0
+	sess.mu.Lock()
+	skip = sess.accepted - seq
+	sess.mu.Unlock()
+	if resumed {
+		s.m.ingestResumed.Inc()
+	}
+
+	// Body caps and slow-client deadlines: MaxBytesReader enforces
+	// -max-body (the tracker tells an over-limit abort apart from any
+	// other read error, however the decoder wrapped it), and every
+	// chunk read below carries a -stream-idle deadline so a stalled
+	// client is disconnected instead of squatting on its admission
+	// slot.
+	var bodySrc io.Reader = r.Body
+	if s.opts.MaxBody > 0 {
+		bodySrc = http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
+	}
+	lt := &limitTracker{r: bodySrc}
+	rc := http.NewResponseController(w)
 
 	// Build the negotiated decoder; with no (or a generic) Content-Type
 	// the first body bytes decide, so -stdin replays and bare curl
@@ -631,13 +949,13 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var rr trace.RecordReader
 	switch format {
 	case formatBinary:
-		br := trace.NewBinaryStreamReader(r.Body)
+		br := trace.NewBinaryStreamReader(lt)
 		br.Recycle(1)
 		rr = br
 	case formatJSONL:
-		rr = trace.NewStreamReader(r.Body)
+		rr = trace.NewStreamReader(lt)
 	default:
-		rr = trace.NewAutoStreamReader(r.Body)
+		rr = trace.NewAutoStreamReader(lt)
 		if br, isBin := rr.(*trace.BinaryStreamReader); isBin {
 			br.Recycle(1)
 			format = formatBinary
@@ -645,7 +963,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			format = formatJSONL
 		}
 	}
-	s.log.Debug("ingest started", "session", id, "format", format)
+	s.log.Debug("ingest started", "session", id, "format", format, "seq", seq, "eos", eos, "resumed", resumed)
 
 	// Records decode into a chunk and push in batches — one
 	// session-lock acquisition (and one pass of window evaluations) per
@@ -679,10 +997,24 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	cur := 0
 	var readErr error
 	for readErr == nil {
+		if s.opts.StreamIdle > 0 {
+			_ = rc.SetReadDeadline(time.Now().Add(s.opts.StreamIdle))
+		}
 		decodeStart := time.Now()
 		var batch []trace.Record
 		batch, readErr = rr.ReadBatch((*bufs[cur])[:0])
 		decodeSeconds.Observe(time.Since(decodeStart).Seconds())
+		if skip > 0 && len(batch) > 0 {
+			// A resuming client replayed records the session already
+			// analyzed: dedup the prefix instead of double-counting.
+			n := skip
+			if n > len(batch) {
+				n = len(batch)
+			}
+			batch = batch[n:]
+			skip -= n
+			s.m.ingestDeduped.Add(int64(n))
+		}
 		if len(batch) == 0 {
 			continue
 		}
@@ -696,14 +1028,27 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.exec.Submit(func(any) { ch <- s.pushChunk(sess, batch, ingestRecords) })
 		cur ^= 1
 	}
+	// Clear the read deadline before responding: the connection may be
+	// kept alive, and a stale deadline would poison its next request.
+	if s.opts.StreamIdle > 0 {
+		_ = rc.SetReadDeadline(time.Time{})
+	}
 	if err := waitPending(); err != nil {
 		s.fail(sess, err.Error())
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if readErr != io.EOF {
-		s.fail(sess, readErr.Error())
-		httpError(w, http.StatusBadRequest, readErr.Error())
+		s.abortIngest(w, sess, resumable, lt.hit, readErr)
+		return
+	}
+	if !eos {
+		// Clean chunk boundary on a resumable session: acknowledge the
+		// watermark and keep the session live for the next chunk.
+		sess.mu.Lock()
+		acc := sess.accepted
+		sess.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, ingest.Watermark{Session: id, Accepted: acc, State: "active"})
 		return
 	}
 
@@ -726,8 +1071,22 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// the session ends now and started a report-duration ago.
 	end := s.now()
 	insertStart := time.Now()
-	s.store.Insert(rcastore.FromReport(id, end-rep.Duration, rep))
+	storeRec := rcastore.FromReport(id, end-rep.Duration, rep)
+	s.store.Insert(storeRec)
 	s.m.insertSeconds.Observe(time.Since(insertStart).Seconds())
+	if s.journal != nil {
+		// Write-ahead-journal the completed diagnosis: when this node
+		// dies before its next checkpoint, recovery replays the report
+		// instead of losing it. An append error is logged and counted
+		// but does not fail the session — the analysis succeeded and
+		// the in-memory store has it.
+		if err := s.journal.Append(storeRec); err != nil {
+			s.m.journalErrors.Inc()
+			s.log.Error("journal append failed", "session", id, "err", err)
+		} else {
+			s.maybeCheckpoint()
+		}
+	}
 	if sess.rec != nil {
 		sess.rec.Record(obs.Event{
 			Kind: obs.EvReportStored,
@@ -756,14 +1115,20 @@ func (s *server) pushChunk(sess *session, recs []trace.Record, records *obs.Coun
 	stepStart := time.Now()
 	sess.mu.Lock()
 	var pushErr error
+	pushed := 0
 	for _, rec := range recs {
 		if pushErr = sess.sa.Push(rec); pushErr != nil {
 			break
 		}
+		pushed++
 		if _, hasTime := rec.Time(); hasTime {
 			timed++
 		}
 	}
+	// Advance the resume watermark by decoded records actually pushed:
+	// a retrying client replays from here and the handler dedups the
+	// prefix, so the analyzer sees every record exactly once.
+	sess.accepted += pushed
 	if sess.rec != nil {
 		sess.rec.Record(obs.Event{
 			Kind: obs.EvIngestChunk,
@@ -777,6 +1142,95 @@ func (s *server) pushChunk(sess *session, recs []trace.Record, records *obs.Coun
 	s.m.recordsTotal.Add(int64(timed))
 	records.Add(int64(timed))
 	return pushErr
+}
+
+// abortIngest disposes of a mid-stream read failure. An over-limit
+// body is a permanent 413 (retrying the same payload cannot succeed);
+// any other read error on a resumable session suspends it — the
+// session stays active with its watermark intact so the client can
+// resume — while the legacy one-shot contract fails the session.
+func (s *server) abortIngest(w http.ResponseWriter, sess *session, resumable, overLimit bool, readErr error) {
+	switch {
+	case overLimit:
+		s.m.ingestRejected["body_too_large"].Inc()
+		s.fail(sess, fmt.Sprintf("request body exceeds the %d-byte ingest cap", s.opts.MaxBody))
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds the %d-byte ingest cap (-max-body)", s.opts.MaxBody))
+	case resumable:
+		sess.mu.Lock()
+		acc := sess.accepted
+		sess.mu.Unlock()
+		s.m.ingestInterrupted.Inc()
+		s.log.Warn("ingest interrupted, session suspended",
+			"session", sess.id, "accepted", acc, "err", readErr)
+		w.Header().Set("Retry-After", retryAfterOverload)
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("stream interrupted after %d records (%v); resume from the watermark", acc, readErr))
+	default:
+		s.fail(sess, readErr.Error())
+		httpError(w, http.StatusBadRequest, readErr.Error())
+	}
+}
+
+// maybeCheckpoint triggers an async store checkpoint every
+// CheckpointEvery journal appends. Checkpoints single-flight: if one
+// is still running, the trigger is dropped — the journal keeps
+// growing and the next multiple tries again.
+func (s *server) maybeCheckpoint() {
+	every := s.opts.CheckpointEvery
+	if every <= 0 {
+		return
+	}
+	if n := s.journaled.Add(1); n%int64(every) != 0 {
+		return
+	}
+	go func() {
+		if !s.ckptMu.TryLock() {
+			return
+		}
+		defer s.ckptMu.Unlock()
+		if err := s.journal.Checkpoint(s.store, s.opts.CheckpointPath); err != nil {
+			s.m.journalErrors.Inc()
+			s.log.Error("checkpoint failed", "path", s.opts.CheckpointPath, "err", err)
+			return
+		}
+		s.log.Debug("store checkpointed", "path", s.opts.CheckpointPath, "rows", s.store.Len())
+	}()
+}
+
+// limitTracker marks when the wrapped body hit http.MaxBytesReader's
+// cap. Decoders wrap read errors in format-specific context, so the
+// handler cannot reliably errors.As the decode error itself; watching
+// the raw reader is exact.
+type limitTracker struct {
+	r   io.Reader
+	hit bool
+}
+
+func (lt *limitTracker) Read(p []byte) (int, error) {
+	n, err := lt.r.Read(p)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			lt.hit = true
+		}
+	}
+	return n, err
+}
+
+// handleWatermark serves a session's resume point: how many records
+// (header included) the server has accepted. A retrying client probes
+// this and replays its stream from that index.
+func (s *server) handleWatermark(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	sess.mu.Lock()
+	acc, state := sess.accepted, sess.state
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, ingest.Watermark{Session: sess.id, Accepted: acc, State: state})
 }
 
 // detachLocked finalizes a session's state, captures the summary and

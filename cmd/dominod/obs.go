@@ -60,7 +60,28 @@ type metrics struct {
 
 	stepSeconds   *obs.Histogram
 	insertSeconds *obs.Histogram
+
+	// Resumable-ingest and load-shedding instruments. ingestRejected is
+	// keyed by the rejection reason label value; read-only after
+	// newMetrics, so hot-path lookups are lock-free.
+	ingestResumed     *obs.Counter
+	ingestDeduped     *obs.Counter
+	ingestInterrupted *obs.Counter
+	ingestRejected    map[string]*obs.Counter
+
+	// Write-ahead-journal instruments, fed by journalHooks plus the
+	// boot-time recovery stats.
+	journalAppends     *obs.Counter
+	journalSyncs       *obs.Counter
+	journalErrors      *obs.Counter
+	journalReplayed    *obs.Counter
+	journalDeduped     *obs.Counter
+	journalCheckpoints *obs.Counter
 }
+
+// rejectReasons is the label universe of dominod_ingest_rejected_total:
+// every way /ingest sheds a request before analyzing it.
+var rejectReasons = []string{"overload", "body_too_large", "draining", "seq_gap", "busy"}
 
 // ingestFormats is the label universe of the per-format ingest
 // instruments: the two wire formats /ingest negotiates.
@@ -96,6 +117,25 @@ func newMetrics(analyzer *core.Analyzer) *metrics {
 
 		stepSeconds:   reg.Histogram("dominod_ingest_step_seconds", "Wall time pushing one decoded chunk through the analyzer.", nil),
 		insertSeconds: reg.Histogram("dominod_store_insert_seconds", "Wall time inserting one completed report into the RCA store.", nil),
+
+		ingestResumed:     reg.Counter("dominod_ingest_resumed_total", "Uploads that resumed an interrupted session from its watermark."),
+		ingestDeduped:     reg.Counter("dominod_ingest_deduped_records_total", "Replayed records skipped as already accepted during resumption."),
+		ingestInterrupted: reg.Counter("dominod_ingest_interrupted_total", "Resumable uploads interrupted mid-stream and suspended for retry."),
+		ingestRejected:    map[string]*obs.Counter{},
+
+		journalAppends:     reg.Counter("dominod_journal_appends_total", "Reports appended to the RCA-store write-ahead journal."),
+		journalSyncs:       reg.Counter("dominod_journal_syncs_total", "Journal fsync batches flushed to stable storage."),
+		journalErrors:      reg.Counter("dominod_journal_errors_total", "Journal append or checkpoint failures."),
+		journalReplayed:    reg.Counter("dominod_journal_replayed_total", "Journal records replayed into the store at recovery."),
+		journalDeduped:     reg.Counter("dominod_journal_deduped_total", "Journal records skipped at recovery as already checkpointed."),
+		journalCheckpoints: reg.Counter("dominod_journal_checkpoints_total", "Atomic store checkpoints written."),
+	}
+
+	// One labeled series per load-shed reason, registered up front so
+	// scrapes see the full universe at zero.
+	for _, reason := range rejectReasons {
+		m.ingestRejected[reason] = reg.Counter("dominod_ingest_rejected_total",
+			"Ingest requests shed before analysis, by reason.", obs.L("reason", reason))
 	}
 
 	// One labeled series per negotiated wire format, registered up
@@ -206,6 +246,28 @@ func (h *storeHooks) StoreQueried() { h.m.storeQueries.Inc() }
 // StoreSpilled implements obs.Hooks.
 func (h *storeHooks) StoreSpilled(rows int) { h.m.storeSpills.Inc() }
 
+// journalHooks feeds write-ahead-journal lifecycle events into the
+// registry. Installed on the recovered journal by newServer.
+type journalHooks struct {
+	obs.NopHooks
+	m *metrics
+}
+
+// JournalAppended implements obs.Hooks.
+func (h *journalHooks) JournalAppended(records int) { h.m.journalAppends.Add(int64(records)) }
+
+// JournalSynced implements obs.Hooks.
+func (h *journalHooks) JournalSynced() { h.m.journalSyncs.Inc() }
+
+// JournalReplayed implements obs.Hooks.
+func (h *journalHooks) JournalReplayed(replayed, deduped int) {
+	h.m.journalReplayed.Add(int64(replayed))
+	h.m.journalDeduped.Add(int64(deduped))
+}
+
+// JournalCheckpointed implements obs.Hooks.
+func (h *journalHooks) JournalCheckpointed(rows int) { h.m.journalCheckpoints.Inc() }
+
 // registerGauges wires the scrape-time instruments that read live
 // server state: session/shard occupancy, admission-limiter slots, RCA
 // store shape, and the analyzer-pool hit ratio.
@@ -237,6 +299,12 @@ func (s *server) registerGauges() {
 		func() float64 { return float64(s.store.Stats().InsertedRows) })
 	reg.CounterFunc("dominod_rcastore_rows_evicted_total", "Rows evicted from the RCA store by retention.",
 		func() float64 { return float64(s.store.Stats().EvictedRows) })
+	reg.GaugeFunc("dominod_draining", "1 while the node is draining for shutdown, else 0.", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
 	reg.GaugeFunc("dominod_analyzer_pool_hit_ratio", "Fraction of analyzer checkouts served from the pool.", func() float64 {
 		gets := s.m.poolGets.Value()
 		if gets == 0 {
@@ -265,11 +333,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz serves readiness plus the build identity surfaced in
-// domino_build_info.
+// domino_build_info. While the node drains for shutdown it reports
+// "draining" with a 503 so load balancers stop routing new sessions
+// here before the listener closes.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	version, goVersion := buildInfo()
-	writeJSON(w, http.StatusOK, map[string]string{
-		"status":     "ok",
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{
+		"status":     status,
 		"version":    version,
 		"go_version": goVersion,
 	})

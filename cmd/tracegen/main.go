@@ -9,6 +9,7 @@
 //	tracegen -scenario midcall-snr-collapse -duration 40 -o collapse.jsonl
 //	tracegen -format binary -o call.dmnt
 //	tracegen -scenario-file examples/scenarios/custom-degraded-cell.json
+//	tracegen -upload http://127.0.0.1:8077 -session call-7 -retries 5
 //	tracegen -list-scenarios
 //
 // -cell selects a bare Table 1 preset; -scenario a registered scenario
@@ -17,16 +18,26 @@
 // -format picks the trace encoding: jsonl (default, human-greppable)
 // or binary (compact columnar, the dominod fast path); cmd/domino and
 // dominod sniff the format on read, so either feeds the same pipeline.
+//
+// -upload streams the generated trace to a running dominod instead of
+// (or in addition to) writing a file, using the resumable ingest
+// protocol: failed uploads retry with seeded, jittered exponential
+// backoff (-retries, -backoff) and resume from the server's watermark
+// rather than re-analyzing records it already accepted.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"github.com/domino5g/domino"
+	"github.com/domino5g/domino/internal/ingest"
 	"github.com/domino5g/domino/internal/trace"
 )
 
@@ -46,6 +57,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "jsonl", "trace encoding: jsonl or binary")
 	out := fs.String("o", "-", "output path ('-' for stdout)")
 	csvDir := fs.String("csv", "", "also write packets.csv/dci.csv/stats.csv into this directory")
+	upload := fs.String("upload", "", "dominod base URL to upload the trace to (e.g. http://127.0.0.1:8077)")
+	session := fs.String("session", "", "session ID for -upload (default <scenario>-<seed>)")
+	retries := fs.Int("retries", 5, "with -upload: retry a failed upload this many times")
+	backoff := fs.Duration("backoff", 200*time.Millisecond, "with -upload: base retry delay (doubles per attempt, jittered)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -121,21 +136,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	set := sess.Run(domino.Time(*duration) * domino.Second)
 
-	w := io.Writer(stdout)
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return fail(err)
-		}
-		defer f.Close()
-		w = f
-	}
 	write := domino.WriteTrace
 	if *format == "binary" {
 		write = domino.WriteTraceBinary
 	}
-	if err := write(w, set); err != nil {
-		return fail(err)
+	if *upload != "" {
+		// Serialize once; the ingest client owns retry and resume.
+		var buf bytes.Buffer
+		if err := write(&buf, set); err != nil {
+			return fail(err)
+		}
+		contentType := ingest.ContentTypeJSONL
+		if *format == "binary" {
+			contentType = ingest.ContentTypeBinary
+		}
+		id := *session
+		if id == "" {
+			id = fmt.Sprintf("%s-%d", sc.Name, *seed)
+		}
+		client := ingest.New(ingest.Options{
+			BaseURL: *upload,
+			Retries: *retries,
+			Backoff: *backoff,
+			Seed:    int64(*seed),
+		})
+		stats, err := client.Upload(context.Background(), id, contentType, buf.Bytes())
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "tracegen: uploaded session %s to %s (%d attempt(s), %d resumed)\n",
+			id, *upload, stats.Attempts, stats.Resumed)
+	}
+	if *upload == "" || *out != "-" {
+		w := io.Writer(stdout)
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := write(w, set); err != nil {
+			return fail(err)
+		}
 	}
 	if *csvDir != "" {
 		if err := trace.WriteCSVBundle(func(name string) (io.WriteCloser, error) {

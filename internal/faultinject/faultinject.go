@@ -1,0 +1,346 @@
+// Package faultinject is a seeded, deterministic fault injector for
+// exercising dominod's fault-tolerance layer. It provides two seams:
+//
+//   - Transport, an http.RoundTripper that garbles upload bodies —
+//     connection resets mid-chunk, torn frames with garbage at the cut
+//     point, and delayed writes — on a fixed schedule derived from a
+//     seed and an attempt counter, so a chaos run replays identically.
+//   - FS, an rcastore.FS that fails writes, fsyncs, and renames on
+//     demand, for driving the write-ahead journal's disk-error paths.
+//
+// Fault model: the injector reproduces what a TCP application can
+// actually observe — aborted connections and torn stream framing. It
+// deliberately does not flip bytes inside otherwise-intact frames:
+// TCP checksums make silent in-flight payload corruption a transport
+// concern, and neither wire format carries per-frame checksums, so an
+// in-place flip could decode as valid-but-different records and the
+// chaos differential could not distinguish "injector broke the data"
+// from "dominod lost data". Garbage at a tear point, by contrast, is
+// always detectable: the frame containing the tear is incomplete and
+// can never decode.
+//
+// Determinism contract: fault positions come from a rand.Rand seeded
+// at construction and consumed once per faulted attempt, so a single
+// goroutine issuing requests through one Transport sees an identical
+// fault schedule across runs. Concurrent requests through one
+// Transport serialize on an internal mutex but interleave
+// nondeterministically; give each concurrent uploader its own
+// Transport.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/domino5g/domino/internal/rcastore"
+)
+
+// Kind enumerates the transport fault kinds.
+type Kind int
+
+const (
+	// KindReset aborts the upload mid-body: the request body errors
+	// after a seeded byte offset, the underlying transport tears down
+	// the connection, and the server sees a truncated stream.
+	KindReset Kind = iota
+	// KindCorrupt tears the upload with garbage: the body yields a
+	// seeded prefix, then a few bytes of framing-invalid garbage, then
+	// errors. The server must reject the garbled tail, not hang on it.
+	KindCorrupt
+	// KindDelay delivers the whole body but pauses between chunks,
+	// modeling a slow client; the request succeeds.
+	KindDelay
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindReset:
+		return "reset"
+	case KindCorrupt:
+		return "corrupt"
+	case KindDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault records one injected transport fault, for assertions and logs.
+type Fault struct {
+	Attempt int   // 1-based faultable-request counter
+	Kind    Kind  // what was injected
+	Offset  int64 // body byte offset the fault fired at (0 for delay)
+}
+
+// ErrInjected is the error surfaced by reset and corrupt faults; it
+// stands in for the ECONNRESET a torn TCP connection would produce.
+var ErrInjected = fmt.Errorf("faultinject: connection torn (injected)")
+
+// TransportOptions configures a Transport.
+type TransportOptions struct {
+	// Seed drives fault offsets. Same seed + same request sequence =
+	// same fault schedule.
+	Seed int64
+	// MaxFaults faults the first MaxFaults body-bearing requests, then
+	// lets every later attempt through clean — an upload retried more
+	// than MaxFaults times is guaranteed to eventually succeed.
+	MaxFaults int
+	// Kinds is the fault cycle, indexed by attempt; defaults to
+	// [reset, corrupt, delay].
+	Kinds []Kind
+	// Delay is the per-pause duration for KindDelay (default 200µs —
+	// enough to yield the scheduler, small enough to keep suites fast).
+	Delay time.Duration
+	// Base is the wrapped RoundTripper (default http.DefaultTransport).
+	Base http.RoundTripper
+}
+
+// Transport is the flaky http.RoundTripper. Only requests carrying a
+// body (uploads) are counted and faulted; bodiless requests such as
+// watermark probes and report fetches pass straight through.
+type Transport struct {
+	opts TransportOptions
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	attempts int
+	faults   []Fault
+}
+
+// NewTransport builds a Transport from opts, applying defaults.
+func NewTransport(opts TransportOptions) *Transport {
+	if len(opts.Kinds) == 0 {
+		opts.Kinds = []Kind{KindReset, KindCorrupt, KindDelay}
+	}
+	if opts.Delay <= 0 {
+		opts.Delay = 200 * time.Microsecond
+	}
+	if opts.Base == nil {
+		opts.Base = http.DefaultTransport
+	}
+	return &Transport{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Attempts reports how many body-bearing requests have been issued.
+func (t *Transport) Attempts() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attempts
+}
+
+// Faults returns a copy of the injected-fault log.
+func (t *Transport) Faults() []Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Fault(nil), t.faults...)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.Body == nil || req.ContentLength == 0 {
+		return t.opts.Base.RoundTrip(req)
+	}
+	t.mu.Lock()
+	t.attempts++
+	n := t.attempts
+	if n > t.opts.MaxFaults {
+		t.mu.Unlock()
+		return t.opts.Base.RoundTrip(req)
+	}
+	kind := t.opts.Kinds[(n-1)%len(t.opts.Kinds)]
+	// Tear somewhere strictly inside the body so resets always
+	// truncate and torn frames always leave a decodable prefix bound.
+	max := req.ContentLength - 1
+	if max < 1 {
+		max = 1
+	}
+	offset := 1 + t.rng.Int63n(max)
+	if kind == KindDelay {
+		offset = 0
+	}
+	t.faults = append(t.faults, Fault{Attempt: n, Kind: kind, Offset: offset})
+	t.mu.Unlock()
+
+	clone := req.Clone(req.Context())
+	switch kind {
+	case KindReset:
+		clone.Body = &tearReader{src: req.Body, remain: offset}
+	case KindCorrupt:
+		clone.Body = &tearReader{src: req.Body, remain: offset, garbage: 4}
+	case KindDelay:
+		clone.Body = &delayReader{src: req.Body, pause: t.opts.Delay}
+	}
+	// The tear happens mid-body, so the served length no longer matches;
+	// let the transport stream with unknown length instead of erroring
+	// on the mismatch before any bytes reach the server.
+	if kind != KindDelay {
+		clone.ContentLength = -1
+		clone.TransferEncoding = []string{"chunked"}
+	}
+	return t.opts.Base.RoundTrip(clone)
+}
+
+// tearReader yields remain bytes of src, then garbage 0x01 bytes, then
+// fails. 0x01 can never complete a frame in either wire format: JSONL
+// forbids unescaped control characters and the binary reader only sees
+// it inside a frame the tear left incomplete.
+type tearReader struct {
+	src     io.ReadCloser
+	remain  int64
+	garbage int
+}
+
+func (r *tearReader) Read(p []byte) (int, error) {
+	if r.remain > 0 {
+		if int64(len(p)) > r.remain {
+			p = p[:r.remain]
+		}
+		n, err := r.src.Read(p)
+		r.remain -= int64(n)
+		if err == io.EOF && r.remain > 0 {
+			// Body shorter than the seeded offset; tear at real EOF.
+			r.remain = 0
+			err = nil
+		}
+		return n, err
+	}
+	if r.garbage > 0 {
+		n := r.garbage
+		if n > len(p) {
+			n = len(p)
+		}
+		for i := 0; i < n; i++ {
+			p[i] = 0x01
+		}
+		r.garbage -= n
+		return n, nil
+	}
+	return 0, ErrInjected
+}
+
+func (r *tearReader) Close() error { return r.src.Close() }
+
+// delayReader passes src through, sleeping between chunks.
+type delayReader struct {
+	src   io.ReadCloser
+	pause time.Duration
+}
+
+func (r *delayReader) Read(p []byte) (int, error) {
+	if len(p) > 4096 {
+		p = p[:4096]
+	}
+	n, err := r.src.Read(p)
+	if n > 0 {
+		time.Sleep(r.pause)
+	}
+	return n, err
+}
+
+func (r *delayReader) Close() error { return r.src.Close() }
+
+// FS is an rcastore.FS with injectable failures, for driving the
+// journal's disk-error paths. Arm a failure class with FailWrites /
+// FailSyncs / FailRenames; the next n calls of that class fail with
+// ErrDiskFault, then the class behaves normally again. The zero value
+// delegates to the real filesystem.
+type FS struct {
+	// Base is the wrapped filesystem (default rcastore.OsFS{}).
+	Base rcastore.FS
+
+	mu          sync.Mutex
+	failWrites  int
+	failSyncs   int
+	failRenames int
+}
+
+// ErrDiskFault is the error injected by FS failure counters.
+var ErrDiskFault = fmt.Errorf("faultinject: disk write failed (injected)")
+
+// FailWrites arms the next n File.Write calls to fail.
+func (fs *FS) FailWrites(n int) { fs.mu.Lock(); fs.failWrites = n; fs.mu.Unlock() }
+
+// FailSyncs arms the next n File.Sync calls to fail.
+func (fs *FS) FailSyncs(n int) { fs.mu.Lock(); fs.failSyncs = n; fs.mu.Unlock() }
+
+// FailRenames arms the next n Rename calls to fail.
+func (fs *FS) FailRenames(n int) { fs.mu.Lock(); fs.failRenames = n; fs.mu.Unlock() }
+
+func (fs *FS) base() rcastore.FS {
+	if fs.Base != nil {
+		return fs.Base
+	}
+	return rcastore.OsFS{}
+}
+
+func (fs *FS) takeWrite() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.failWrites > 0 {
+		fs.failWrites--
+		return true
+	}
+	return false
+}
+
+func (fs *FS) takeSync() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.failSyncs > 0 {
+		fs.failSyncs--
+		return true
+	}
+	return false
+}
+
+// OpenFile implements rcastore.FS.
+func (fs *FS) OpenFile(name string, flag int, perm os.FileMode) (rcastore.File, error) {
+	f, err := fs.base().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, fs: fs}, nil
+}
+
+// Rename implements rcastore.FS.
+func (fs *FS) Rename(oldpath, newpath string) error {
+	fs.mu.Lock()
+	fail := fs.failRenames > 0
+	if fail {
+		fs.failRenames--
+	}
+	fs.mu.Unlock()
+	if fail {
+		return ErrDiskFault
+	}
+	return fs.base().Rename(oldpath, newpath)
+}
+
+// Remove implements rcastore.FS.
+func (fs *FS) Remove(name string) error { return fs.base().Remove(name) }
+
+// faultFile consults its FS's failure counters before delegating.
+type faultFile struct {
+	rcastore.File
+	fs *FS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.fs.takeWrite() {
+		return 0, ErrDiskFault
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.takeSync() {
+		return ErrDiskFault
+	}
+	return f.File.Sync()
+}

@@ -37,6 +37,18 @@ type Hooks interface {
 	StoreQueried()
 	// StoreSpilled fires after a spill write, with the rows written.
 	StoreSpilled(rows int)
+	// JournalAppended fires after records are appended to the RCA
+	// store's write-ahead journal.
+	JournalAppended(records int)
+	// JournalSynced fires after the journal fsyncs (per the batching
+	// policy, so appends-per-sync is JournalAppended/JournalSynced).
+	JournalSynced()
+	// JournalReplayed fires once per recovery with the records replayed
+	// into the store and the duplicates skipped.
+	JournalReplayed(replayed, deduped int)
+	// JournalCheckpointed fires after an atomic checkpoint write, with
+	// the rows persisted.
+	JournalCheckpointed(rows int)
 }
 
 // NopHooks implements Hooks with no-ops; embed it to implement only
@@ -69,3 +81,15 @@ func (NopHooks) StoreQueried() {}
 
 // StoreSpilled implements Hooks.
 func (NopHooks) StoreSpilled(rows int) {}
+
+// JournalAppended implements Hooks.
+func (NopHooks) JournalAppended(records int) {}
+
+// JournalSynced implements Hooks.
+func (NopHooks) JournalSynced() {}
+
+// JournalReplayed implements Hooks.
+func (NopHooks) JournalReplayed(replayed, deduped int) {}
+
+// JournalCheckpointed implements Hooks.
+func (NopHooks) JournalCheckpointed(rows int) {}

@@ -13,9 +13,11 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ForEach runs fn(0..n-1) across the given number of workers and waits
@@ -109,6 +111,39 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// ErrAcquireTimeout reports that AcquireTimeout gave up waiting for a
+// slot. Services map it onto load-shedding responses (429) instead of
+// the unbounded blocking Acquire provides.
+var ErrAcquireTimeout = errors.New("parallel: limiter saturated, acquire timed out")
+
+// AcquireTimeout is the bounded-queue-wait variant of Acquire: it
+// waits at most d for a slot, returning ErrAcquireTimeout when the
+// limiter stays saturated and ctx.Err() when the caller gives up
+// first. d <= 0 degenerates to Acquire — wait as long as ctx allows.
+// A service that shed load on saturation calls this and converts
+// ErrAcquireTimeout into a retryable rejection rather than holding the
+// producer hostage on a full semaphore.
+func (l *Limiter) AcquireTimeout(ctx context.Context, d time.Duration) error {
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if d <= 0 {
+		return l.Acquire(ctx)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return ErrAcquireTimeout
 	}
 }
 

@@ -107,3 +107,58 @@ func BenchmarkRCAStoreQuery(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N*4)/b.Elapsed().Seconds(), "queries/s")
 }
+
+// BenchmarkRCAStoreJournalAppend measures the write-ahead journal's
+// append path at the default group-commit batch (SyncEvery 64): CRC
+// framing + JSON encode + batched fsync, the per-report durability tax
+// dominod pays on session completion.
+func BenchmarkRCAStoreJournalAppend(b *testing.B) {
+	recs := synthRecords(256)
+	j, err := OpenJournal(b.TempDir()+"/bench.wal", JournalOptions{SyncEvery: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(recs[i%len(recs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkRCAStoreJournalReplay measures cold-start recovery: decode
+// + CRC-verify + dedup-check + insert for a 4096-record journal with
+// no checkpoint, the worst-case restart cost per record.
+func BenchmarkRCAStoreJournalReplay(b *testing.B) {
+	recs := synthRecords(4096)
+	dir := b.TempDir()
+	jpath := dir + "/bench.wal"
+	j, err := OpenJournal(jpath, JournalOptions{SyncEvery: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, j2, stats, err := Recover(dir+"/none.ckpt", jpath, Options{BlockRows: 256}, JournalOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		j2.Close()
+		if stats.Replayed == 0 || st.Len() == 0 {
+			b.Fatal("replay recovered nothing")
+		}
+	}
+	b.ReportMetric(float64(b.N*len(recs))/b.Elapsed().Seconds(), "records/s")
+}

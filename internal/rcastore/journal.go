@@ -1,0 +1,439 @@
+package rcastore
+
+// This file is the store's durability layer: a crash-consistent
+// write-ahead journal plus checkpoint/recover. The spill file
+// (Store.Spill) remains the checkpoint format; the journal records
+// every report inserted since the last checkpoint, so a crash loses at
+// most the appends an operator chose not to fsync yet (SyncEvery > 1)
+// instead of everything since boot.
+//
+// Layout on disk:
+//
+//	checkpoint  — a Spill stream, replaced atomically (tmp + rename)
+//	journal     — one framed line per Record appended since the last
+//	              checkpoint: crc32(payload) as 8 hex chars, a space,
+//	              the Record as JSON, '\n'
+//
+// Recovery loads the checkpoint, replays the journal tail, tolerates a
+// torn final record (a crash mid-append), and deduplicates by session
+// ID so the crash window between "checkpoint renamed" and "journal
+// truncated" cannot double-insert. The recovered store spills
+// byte-identically to a gracefully shut-down one — pinned by
+// TestJournalRecoverMatchesGracefulSpill.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+
+	"github.com/domino5g/domino/internal/obs"
+)
+
+// File is the subset of *os.File the journal needs. It exists so fault
+// harnesses (internal/faultinject) can inject disk errors underneath
+// the journal without touching the real filesystem.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+	// Truncate changes the file's size, keeping the write offset for
+	// O_APPEND handles at the new end.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem seam the journal and checkpoint path go
+// through. OsFS is the real implementation; faultinject.FS injects
+// deterministic write/sync/rename errors for crash testing.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// OsFS implements FS on the host filesystem.
+type OsFS struct{}
+
+// OpenFile implements FS.
+func (OsFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Rename implements FS.
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OsFS) Remove(name string) error { return os.Remove(name) }
+
+// JournalOptions parameterize a journal.
+type JournalOptions struct {
+	// FS is the filesystem the journal writes through; nil selects
+	// OsFS.
+	FS FS
+	// SyncEvery batches fsyncs: the file is synced once every this many
+	// appends (group commit). <= 1 (the default) syncs every append —
+	// a report acked to the journal is durable before Append returns.
+	SyncEvery int
+	// Hooks, if set, observes journal lifecycle events (appends, syncs,
+	// replay, checkpoints). Must not call back into the journal.
+	Hooks obs.Hooks
+}
+
+func (o JournalOptions) defaults() JournalOptions {
+	if o.FS == nil {
+		o.FS = OsFS{}
+	}
+	if o.SyncEvery < 1 {
+		o.SyncEvery = 1
+	}
+	return o
+}
+
+// Journal is a crash-consistent append log of store records. Append is
+// safe for concurrent use; a Journal belongs to exactly one Store's
+// insert stream (the caller appends every record it inserts).
+type Journal struct {
+	mu        sync.Mutex
+	fs        FS
+	f         File
+	path      string
+	opts      JournalOptions
+	buf       []byte
+	sinceSync int
+	closed    bool
+}
+
+// OpenJournal opens (creating if absent) a journal for appending.
+// Callers that may be restarting after a crash should use Recover
+// instead, which replays and repairs the tail before reopening.
+func OpenJournal(path string, opts JournalOptions) (*Journal, error) {
+	opts = opts.defaults()
+	f, err := opts.FS.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("rcastore: opening journal: %w", err)
+	}
+	return &Journal{fs: opts.FS, f: f, path: path, opts: opts}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// SetHooks installs (or replaces) the journal's observability hooks.
+// Recovery runs before a service's metrics exist, so dominod recovers
+// first and wires hooks afterwards.
+func (j *Journal) SetHooks(h obs.Hooks) {
+	j.mu.Lock()
+	j.opts.Hooks = h
+	j.mu.Unlock()
+}
+
+// Append frames and writes one record, fsyncing per the SyncEvery
+// policy. An error leaves the journal usable: the failed entry may be
+// torn on disk, which recovery tolerates at the tail.
+func (j *Journal) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("rcastore: encoding journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("rcastore: journal closed")
+	}
+	j.buf = j.buf[:0]
+	j.buf = appendCRC(j.buf, payload)
+	j.buf = append(j.buf, ' ')
+	j.buf = append(j.buf, payload...)
+	j.buf = append(j.buf, '\n')
+	if _, err := j.f.Write(j.buf); err != nil {
+		return fmt.Errorf("rcastore: journal append: %w", err)
+	}
+	if j.opts.Hooks != nil {
+		j.opts.Hooks.JournalAppended(1)
+	}
+	j.sinceSync++
+	if j.sinceSync >= j.opts.SyncEvery {
+		return j.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces any batched appends to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	j.sinceSync = 0
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("rcastore: journal sync: %w", err)
+	}
+	if j.opts.Hooks != nil {
+		j.opts.Hooks.JournalSynced()
+	}
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Checkpoint atomically persists the store's full retained state to
+// checkpointPath (spill to a temp file, fsync, rename) and then resets
+// the journal to empty. Crash ordering is safe at every step: before
+// the rename the old checkpoint + full journal recover the store;
+// after the rename but before the truncate, replay deduplicates the
+// journaled sessions already present in the new checkpoint.
+func (j *Journal) Checkpoint(st *Store, checkpointPath string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("rcastore: journal closed")
+	}
+	// Durability order part 1: the journal must be complete on disk
+	// before the checkpoint that supersedes it.
+	j.sinceSync = 0
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("rcastore: journal sync before checkpoint: %w", err)
+	}
+	tmp := checkpointPath + ".tmp"
+	f, err := j.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("rcastore: creating checkpoint temp: %w", err)
+	}
+	if err := st.Spill(f); err != nil {
+		f.Close()
+		j.fs.Remove(tmp)
+		return fmt.Errorf("rcastore: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		j.fs.Remove(tmp)
+		return fmt.Errorf("rcastore: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		j.fs.Remove(tmp)
+		return fmt.Errorf("rcastore: closing checkpoint: %w", err)
+	}
+	if err := j.fs.Rename(tmp, checkpointPath); err != nil {
+		j.fs.Remove(tmp)
+		return fmt.Errorf("rcastore: publishing checkpoint: %w", err)
+	}
+	// The checkpoint is durable and published; the journaled history it
+	// covers can go.
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("rcastore: truncating journal after checkpoint: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("rcastore: syncing truncated journal: %w", err)
+	}
+	if j.opts.Hooks != nil {
+		j.opts.Hooks.JournalCheckpointed(st.Len())
+	}
+	return nil
+}
+
+// RecoveryStats reports what Recover found on disk.
+type RecoveryStats struct {
+	// CheckpointRows is the number of rows loaded from the checkpoint
+	// (0 when no checkpoint file existed).
+	CheckpointRows int
+	// Replayed is the number of journal records inserted into the
+	// store.
+	Replayed int
+	// Deduped is the number of journal records skipped because their
+	// session was already present — the checkpoint-rename/journal-
+	// truncate crash window.
+	Deduped int
+	// TornTail reports whether the journal ended in a torn (partially
+	// written) record, which was discarded and truncated away.
+	TornTail bool
+	// TornBytes is the size of the discarded torn tail.
+	TornBytes int64
+}
+
+// Recover rebuilds a store from its checkpoint and journal, repairing
+// a torn journal tail, and returns the store plus a journal reopened
+// for appending. Either file may be absent (a fresh deployment, or a
+// crash before the first checkpoint). The recovered store is
+// byte-identical, under Spill, to the store a graceful shutdown would
+// have spilled — provided every insert was journaled and synced.
+func Recover(checkpointPath, journalPath string, opts Options, jopts JournalOptions) (*Store, *Journal, RecoveryStats, error) {
+	jopts = jopts.defaults()
+	fs := jopts.FS
+	var stats RecoveryStats
+
+	st, err := loadCheckpoint(fs, checkpointPath, opts)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	stats.CheckpointRows = st.Len()
+
+	goodOffset, torn, err := replayJournal(fs, journalPath, st, &stats)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+
+	j, err := OpenJournal(journalPath, jopts)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	if torn {
+		// Drop the torn record so the next append starts a clean frame.
+		if err := j.f.Truncate(goodOffset); err != nil {
+			j.Close()
+			return nil, nil, stats, fmt.Errorf("rcastore: truncating torn journal tail: %w", err)
+		}
+	}
+	if jopts.Hooks != nil {
+		jopts.Hooks.JournalReplayed(stats.Replayed, stats.Deduped)
+	}
+	return st, j, stats, nil
+}
+
+// loadCheckpoint loads the checkpoint spill, returning an empty store
+// when the file does not exist.
+func loadCheckpoint(fs FS, path string, opts Options) (*Store, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return New(opts), nil
+		}
+		return nil, fmt.Errorf("rcastore: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	st, err := Load(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("rcastore: loading checkpoint %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// replayJournal replays journalPath into st, skipping records whose
+// session is already stored. It returns the offset of the end of the
+// last valid record and whether a torn tail follows it. A malformed
+// record that is NOT the final one is corruption and fails recovery —
+// torn writes can only happen at the tail.
+func replayJournal(fs FS, path string, st *Store, stats *RecoveryStats) (int64, bool, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("rcastore: opening journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return 0, false, fmt.Errorf("rcastore: reading journal: %w", err)
+	}
+
+	seen := st.sessionSet()
+	var goodOffset int64
+	entry := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		lineEnd := nl
+		if nl < 0 {
+			lineEnd = len(data)
+		}
+		line := data[:lineEnd]
+		entry++
+		rec, derr := decodeJournalLine(line)
+		if nl < 0 {
+			// No commit newline: the final record was torn mid-write,
+			// whatever its bytes happen to decode as.
+			stats.TornTail = true
+			stats.TornBytes = int64(len(data))
+			return goodOffset, true, nil
+		}
+		if derr != nil {
+			// A bad record is only a crash artifact at the very tail;
+			// earlier it is corruption and recovery must not guess.
+			if len(bytes.TrimSpace(data[nl+1:])) > 0 {
+				return 0, false, fmt.Errorf("rcastore: journal entry %d corrupt: %v", entry, derr)
+			}
+			stats.TornTail = true
+			stats.TornBytes = int64(len(data))
+			return goodOffset, true, nil
+		}
+		if _, dup := seen[rec.Session]; dup {
+			stats.Deduped++
+		} else {
+			st.Insert(rec)
+			seen[rec.Session] = struct{}{}
+			stats.Replayed++
+		}
+		goodOffset += int64(nl + 1)
+		data = data[nl+1:]
+	}
+	return goodOffset, false, nil
+}
+
+// decodeJournalLine validates one framed journal line ("crc8hex
+// payload") and decodes its record.
+func decodeJournalLine(line []byte) (Record, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, fmt.Errorf("short or unframed line (%d bytes)", len(line))
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad frame checksum field: %v", err)
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return Record{}, fmt.Errorf("checksum mismatch: frame says %08x, payload is %08x", want, got)
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, fmt.Errorf("decoding record: %v", err)
+	}
+	return rec, nil
+}
+
+// appendCRC appends crc32(payload) as 8 lower-case hex characters.
+func appendCRC(dst, payload []byte) []byte {
+	const hexdigits = "0123456789abcdef"
+	sum := crc32.ChecksumIEEE(payload)
+	for shift := 28; shift >= 0; shift -= 4 {
+		dst = append(dst, hexdigits[(sum>>uint(shift))&0xF])
+	}
+	return dst
+}
+
+// sessionSet returns the set of session IDs currently retained —
+// recovery's dedup index.
+func (s *Store) sessionSet() map[string]struct{} {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := make(map[string]struct{})
+	for _, b := range s.blocks {
+		for i := 0; i < b.n; i++ {
+			set[b.sessions[i]] = struct{}{}
+		}
+	}
+	return set
+}
