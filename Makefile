@@ -26,7 +26,7 @@ BENCH_GATE_PKGS = . ./internal/sim ./internal/trace ./internal/parallel ./cmd/do
 # by benchdiff -floor, which also fails if the benchmark vanishes.
 BENCH_FLOORS = -floor 'BenchmarkDominodIngestBinary:records/s=2565718'
 
-.PHONY: build vet fmt fmt-check test bench bench-json bench-diff dominod-smoke obs-smoke chaos-smoke doclint mdcheck examples-check ci
+.PHONY: build vet fmt fmt-check test bench bench-json bench-diff dominod-smoke obs-smoke chaos-smoke fleet-smoke doclint mdcheck examples-check ci
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,15 @@ obs-smoke:
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
+# Fleet failover smoke: three dominod backends behind dominolb plus a
+# clean reference node; kill -9 one backend mid-upload, SIGTERM-drain
+# another under an in-flight stream, saturate the survivor's ingest
+# slots, and assert every balancer-served report is byte-identical to
+# the clean run and the federated /metrics lints. Artifacts land in
+# fleet-smoke/ (CI uploads them).
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
+
 # Documentation gates — CI fails on doc drift like it fails on tests.
 # doclint: every package needs a package comment; every exported façade
 # symbol (root package) needs a doc comment. mdcheck: relative links in
@@ -110,4 +119,4 @@ examples-check:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 
-ci: build vet fmt-check test bench bench-diff dominod-smoke obs-smoke chaos-smoke doclint mdcheck examples-check
+ci: build vet fmt-check test bench bench-diff dominod-smoke obs-smoke chaos-smoke fleet-smoke doclint mdcheck examples-check

@@ -1,0 +1,587 @@
+package main
+
+// Fleet-tier acceptance: real dominod servers behind internal/balancer.
+// The fleet chaos differential is the headline — N nodes, all
+// scenarios in both wire formats, seeded backend kills mid-stream —
+// and every session's final report must be byte-identical to clean
+// single-node ingest. The drain test pins the SIGTERM semantics end to
+// end, and the federation test pins /metrics = Merge(per-node scrapes).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/domino5g/domino/internal/balancer"
+	"github.com/domino5g/domino/internal/ingest"
+	"github.com/domino5g/domino/internal/obs"
+	"github.com/domino5g/domino/internal/ran"
+	"github.com/domino5g/domino/internal/scenario"
+	"github.com/domino5g/domino/internal/sim"
+	"github.com/domino5g/domino/internal/trace"
+)
+
+// fleetNode is one real dominod backend under balancer control.
+type fleetNode struct {
+	srv *server
+	ts  *httptest.Server
+}
+
+func newFleetNode(t *testing.T, nodeID string) *fleetNode {
+	t.Helper()
+	srv := newServer(testAnalyzer(t), serverOptions{
+		MaxStreams: 4,
+		NodeID:     nodeID,
+		Now:        func() sim.Time { return chaosFleetNow },
+	})
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return &fleetNode{srv: srv, ts: ts}
+}
+
+// kill is the in-process kill -9: tear every open connection, stop
+// accepting. The dominod never gets to drain or checkpoint.
+func (n *fleetNode) kill() {
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+}
+
+// ownerOf finds which live node holds a session by probing the nodes
+// directly (not through the balancer — its routing table is busy while
+// a chunk is in flight).
+func ownerOf(t *testing.T, nodes []*fleetNode, id string, deadline time.Duration) *fleetNode {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		for _, n := range nodes {
+			resp, err := http.Get(n.ts.URL + "/sessions/" + id + "/watermark")
+			if err != nil {
+				continue
+			}
+			ok := resp.StatusCode == http.StatusOK
+			drainClose(resp)
+			if ok {
+				return n
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("no node owns session %s", id)
+	return nil
+}
+
+// splitLines cuts a JSONL payload into n record-aligned chunks and
+// returns each chunk with its starting record index.
+func splitLines(payload []byte, n int) (chunks [][]byte, seqs []int) {
+	lines := bytes.SplitAfter(payload, []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	per := (len(lines) + n - 1) / n
+	for at := 0; at < len(lines); at += per {
+		end := at + per
+		if end > len(lines) {
+			end = len(lines)
+		}
+		chunks = append(chunks, bytes.Join(lines[at:end], nil))
+		seqs = append(seqs, at)
+	}
+	return chunks, seqs
+}
+
+// gatedReader yields head, then blocks until gate closes, then yields
+// tail — it holds an upload mid-body while the test kills the backend
+// under it.
+type gatedReader struct {
+	head, tail *bytes.Reader
+	gate       <-chan struct{}
+	gated      bool
+}
+
+func (g *gatedReader) Read(p []byte) (int, error) {
+	if g.head.Len() > 0 {
+		return g.head.Read(p)
+	}
+	if !g.gated {
+		<-g.gate
+		g.gated = true
+	}
+	return g.tail.Read(p)
+}
+
+// TestFleetChaosDifferential is the acceptance test for the fleet
+// tier: 4 dominod nodes behind the balancer, every scenario in both
+// wire formats, two seeded mid-stream backend kills (one recovered by
+// balancer-side watermark replay, one by the client's retryable-503
+// resend path), and at the end every one of the 28 reports fetched
+// through the balancer must equal the clean single-node report byte
+// for byte.
+func TestFleetChaosDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet chaos differential is the long acceptance test")
+	}
+	names := scenario.Names()
+	if len(names) != 14 {
+		t.Fatalf("scenario catalog has %d entries, the fleet matrix expects 14", len(names))
+	}
+
+	clean := newFleetNode(t, "clean")
+	nodes := make([]*fleetNode, 4)
+	var backends []string
+	for i := range nodes {
+		nodes[i] = newFleetNode(t, fmt.Sprintf("n%d", i))
+		backends = append(backends, nodes[i].ts.URL)
+	}
+	lb, err := balancer.New(balancer.Options{
+		Backends: backends,
+		// Deterministic failure detection: the prober stays quiet (the
+		// initial round marked everyone up) and the first data-path
+		// error marks a node down.
+		HealthInterval: time.Hour,
+		FailThreshold:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	lbTS := httptest.NewServer(lb.Routes())
+	defer lbTS.Close()
+
+	// Seeded kill schedule: one JSONL session dies at a chunk boundary
+	// (balancer replay recovers it), one binary session dies mid-body
+	// (the client's resend path recovers it).
+	rng := rand.New(rand.NewSource(4242))
+	killReplayAt := rng.Intn(len(names))
+	killResendAt := rng.Intn(len(names))
+	for killResendAt == killReplayAt {
+		killResendAt = rng.Intn(len(names))
+	}
+	killed := 0
+
+	type fleetFormat struct {
+		name        string
+		contentType string
+		encode      func(*trace.Set) ([]byte, error)
+	}
+	formats := []fleetFormat{
+		{"jsonl", ingest.ContentTypeJSONL, func(set *trace.Set) ([]byte, error) {
+			var buf bytes.Buffer
+			err := trace.WriteJSONL(&buf, set)
+			return buf.Bytes(), err
+		}},
+		{"binary", ingest.ContentTypeBinary, func(set *trace.Set) ([]byte, error) {
+			var buf bytes.Buffer
+			err := trace.WriteBinary(&buf, set)
+			return buf.Bytes(), err
+		}},
+	}
+
+	alive := func() []*fleetNode {
+		out := []*fleetNode{}
+		for i, n := range nodes {
+			_ = i
+			if n != nil {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	markDead := func(victim *fleetNode) {
+		for i, n := range nodes {
+			if n == victim {
+				nodes[i] = nil
+			}
+		}
+	}
+
+	payloads := map[string][]byte{}
+	types := map[string]string{}
+	uploader := func(seed int64) *ingest.Client {
+		return ingest.New(ingest.Options{
+			BaseURL: lbTS.URL, Retries: 6,
+			Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond,
+			Seed: seed, Sleep: func(time.Duration) {},
+		})
+	}
+
+	for i, name := range names {
+		sc, err := scenario.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := sc.Build(uint64(31 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := sess.Run(8 * sim.Second)
+		for fi, f := range formats {
+			payload, err := f.encode(set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := fmt.Sprintf("%s-%s", name, f.name)
+			payloads[id], types[id] = payload, f.contentType
+
+			if _, err := ingest.New(ingest.Options{BaseURL: clean.ts.URL}).
+				Upload(context.Background(), id, f.contentType, payload); err != nil {
+				t.Fatalf("%s: clean ingest: %v", id, err)
+			}
+
+			switch {
+			case i == killReplayAt && f.name == "jsonl":
+				// Stream in chunks; kill the owner between chunks. The
+				// balancer replays its acknowledged buffer into a
+				// survivor and the stream continues.
+				chunks, seqs := splitLines(payload, 3)
+				resp := postChunk(t, lbTS.URL, id, f.contentType, seqs[0], false, bytes.NewReader(chunks[0]))
+				if resp.StatusCode != http.StatusAccepted {
+					t.Fatalf("%s chunk 0: %d", id, resp.StatusCode)
+				}
+				drainClose(resp)
+				victim := ownerOf(t, alive(), id, 2*time.Second)
+				victim.kill()
+				markDead(victim)
+				killed++
+				// First post-kill chunk bounces (503, marks the node
+				// down), the retry fails over with replay.
+				resp = postChunk(t, lbTS.URL, id, f.contentType, seqs[1], false, bytes.NewReader(chunks[1]))
+				if resp.StatusCode != http.StatusServiceUnavailable {
+					t.Fatalf("%s chunk against killed node: %d, want 503", id, resp.StatusCode)
+				}
+				drainClose(resp)
+				resp = postChunk(t, lbTS.URL, id, f.contentType, seqs[1], false, bytes.NewReader(chunks[1]))
+				if resp.StatusCode != http.StatusAccepted {
+					t.Fatalf("%s failover chunk: %d", id, resp.StatusCode)
+				}
+				drainClose(resp)
+				resp = postChunk(t, lbTS.URL, id, f.contentType, seqs[2], true, bytes.NewReader(chunks[2]))
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s eos after failover: %d", id, resp.StatusCode)
+				}
+				drainClose(resp)
+
+			case i == killResendAt && f.name == "binary":
+				// Kill the owner while the very first request is
+				// mid-body: nothing was ever acknowledged, so recovery
+				// must come from the client resending after the
+				// balancer's retryable 503.
+				gate := make(chan struct{})
+				body := &gatedReader{
+					head: bytes.NewReader(payload[:len(payload)/2]),
+					tail: bytes.NewReader(payload[len(payload)/2:]),
+					gate: gate,
+				}
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					victim := ownerOf(t, alive(), id, 2*time.Second)
+					victim.kill()
+					markDead(victim)
+					killed++
+					close(gate)
+				}()
+				req, err := http.NewRequest(http.MethodPost, lbTS.URL+"/ingest?session="+id, body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				req.Header.Set("Content-Type", f.contentType)
+				req.Header.Set(ingest.HeaderSeq, "0")
+				req.Header.Set(ingest.HeaderEos, "1")
+				resp, err := http.DefaultClient.Do(req)
+				if err == nil {
+					if resp.StatusCode == http.StatusOK {
+						t.Fatalf("%s: upload survived a mid-body backend kill?", id)
+					}
+					drainClose(resp)
+				}
+				wg.Wait()
+				if stats, err := uploader(int64(1000*i+fi)).Upload(context.Background(), id, f.contentType, payload); err != nil {
+					t.Fatalf("%s: resend after kill: %v (stats %+v)", id, err, stats)
+				}
+
+			default:
+				if stats, err := uploader(int64(1000*i+fi)).Upload(context.Background(), id, f.contentType, payload); err != nil {
+					t.Fatalf("%s: fleet ingest: %v (stats %+v)", id, err, stats)
+				}
+			}
+		}
+	}
+	if killed != 2 {
+		t.Fatalf("killed %d nodes, want 2", killed)
+	}
+
+	// Sessions that completed on a node killed later are gone with it;
+	// the recovery contract is client redelivery through the balancer,
+	// which re-pins and re-analyzes. After that, every report must
+	// exist and match clean single-node analysis byte for byte.
+	redelivered := 0
+	for id, payload := range payloads {
+		resp, err := http.Get(lbTS.URL + "/report/" + id)
+		if err != nil {
+			t.Fatalf("report %s: %v", id, err)
+		}
+		lost := resp.StatusCode != http.StatusOK
+		drainClose(resp)
+		if lost {
+			if _, err := uploader(7).Upload(context.Background(), id, types[id], payload); err != nil {
+				t.Fatalf("%s: redelivery: %v", id, err)
+			}
+			redelivered++
+		}
+		want := fetchReport(t, clean.ts.URL, id)
+		got := fetchReport(t, lbTS.URL, id)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s: fleet report diverged from clean single-node ingest\nclean: %s\nfleet: %s", id, want, got)
+		}
+	}
+	t.Logf("fleet chaos: 2 nodes killed, %d sessions redelivered, %d reports byte-identical", redelivered, len(payloads))
+
+	// The fleet exposition stays lint-clean with half the fleet dead,
+	// and records the failovers.
+	resp, err := http.Get(lbTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs, _ := obs.Lint(bytes.NewReader(text)); len(errs) > 0 {
+		t.Fatalf("fleet exposition with dead nodes fails lint: %v", errs)
+	}
+	if !regexpMatch(string(text), `dominolb_failovers_total [1-9]`) {
+		t.Fatalf("no failovers recorded:\n%s", text)
+	}
+}
+
+// regexpMatch is a tiny helper so the assertion above reads clearly.
+func regexpMatch(text, expr string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, strings.Split(expr, " ")[0]) {
+			var v float64
+			if _, err := fmt.Sscanf(line, strings.Split(expr, " ")[0]+" %f", &v); err == nil && v >= 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestFleetDrainSemantics pins drain end to end with real dominods:
+// when a backend starts draining (what SIGTERM flips), the balancer
+// stops routing new sessions to it while the in-flight session
+// completes — via failover, because a draining dominod rejects every
+// ingest POST — and its report lands, byte-identical to a clean run.
+func TestFleetDrainSemantics(t *testing.T) {
+	clean := newFleetNode(t, "clean")
+	a, b := newFleetNode(t, "a"), newFleetNode(t, "b")
+	lb, err := balancer.New(balancer.Options{
+		Backends:       []string{a.ts.URL, b.ts.URL},
+		HealthInterval: 10 * time.Millisecond,
+		HealthTimeout:  time.Second, // default interval/2 is too twitchy under test load
+		FailThreshold:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	lbTS := httptest.NewServer(lb.Routes())
+	defer lbTS.Close()
+
+	sc, err := scenario.ByName("harq-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sc.Build(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload bytes.Buffer
+	if err := trace.WriteJSONL(&payload, sess.Run(8*sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	const id = "drain-pinned"
+	if _, err := ingest.New(ingest.Options{BaseURL: clean.ts.URL}).
+		Upload(context.Background(), id, ingest.ContentTypeJSONL, payload.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	chunks, seqs := splitLines(payload.Bytes(), 3)
+	resp := postChunk(t, lbTS.URL, id, ingest.ContentTypeJSONL, seqs[0], false, bytes.NewReader(chunks[0]))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("chunk 0: %d", resp.StatusCode)
+	}
+	drainClose(resp)
+
+	owner := ownerOf(t, []*fleetNode{a, b}, id, 2*time.Second)
+	survivor := a
+	if owner == a {
+		survivor = b
+	}
+	// What SIGTERM does, without the process exit racing the test.
+	owner.srv.draining.Store(true)
+
+	// The prober must notice and demote it to draining (not down).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(lbTS.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), `"state": "draining"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("balancer never saw the drain: %s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// New sessions all land on the survivor.
+	for i := 0; i < 6; i++ {
+		nid := fmt.Sprintf("post-drain-%d", i)
+		resp := postChunk(t, lbTS.URL, nid, ingest.ContentTypeJSONL, 0, true, bytes.NewReader(payload.Bytes()))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("session %s during drain: %d", nid, resp.StatusCode)
+		}
+		drainClose(resp)
+		probe, err := http.Get(survivor.ts.URL + "/sessions/" + nid + "/watermark")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probe.StatusCode != http.StatusOK {
+			t.Fatalf("session %s not on the surviving node", nid)
+		}
+		drainClose(probe)
+	}
+	// The draining node accumulated nothing new.
+	resp, err = http.Get(owner.ts.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].Session != id {
+		t.Fatalf("draining node sessions = %+v, want only %q", infos, id)
+	}
+
+	// The pinned session finishes: a draining dominod rejects the next
+	// chunk, so the balancer fails it over (replay) to the survivor.
+	resp = postChunk(t, lbTS.URL, id, ingest.ContentTypeJSONL, seqs[1], false, bytes.NewReader(chunks[1]))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("chunk 1 during drain: %d", resp.StatusCode)
+	}
+	drainClose(resp)
+	resp = postChunk(t, lbTS.URL, id, ingest.ContentTypeJSONL, seqs[2], true, bytes.NewReader(chunks[2]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eos during drain: %d", resp.StatusCode)
+	}
+	drainClose(resp)
+
+	want := fetchReport(t, clean.ts.URL, id)
+	got := fetchReport(t, lbTS.URL, id)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("drained-through report diverged:\nclean: %s\nfleet: %s", want, got)
+	}
+}
+
+// TestFleetMetricsMergeAcceptance pins the federation criterion: the
+// balancer's /metrics equals obs.Merge of the per-node snapshots and
+// lints clean.
+func TestFleetMetricsMergeAcceptance(t *testing.T) {
+	a, b := newFleetNode(t, "a"), newFleetNode(t, "b")
+	lb, err := balancer.New(balancer.Options{
+		Backends:       []string{a.ts.URL, b.ts.URL},
+		HealthInterval: time.Hour, // scrape comparisons need a quiet fleet
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	lbTS := httptest.NewServer(lb.Routes())
+	defer lbTS.Close()
+
+	for i, n := range []*fleetNode{a, b} {
+		_, body := sessionTrace(t, ran.Amarisoft(), uint64(60+i), 4*sim.Second)
+		resp, err := http.Post(n.ts.URL+"/ingest?session=fed", "application/jsonl", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainClose(resp)
+	}
+
+	scrape := func(base string) ([]byte, obs.Snapshot) {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		text, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := obs.ParseText(bytes.NewReader(text))
+		if err != nil {
+			t.Fatalf("scrape of %s does not parse: %v", base, err)
+		}
+		return text, snap
+	}
+
+	fleetText, fleetSnap := scrape(lbTS.URL)
+	if errs, _ := obs.Lint(bytes.NewReader(fleetText)); len(errs) > 0 {
+		t.Fatalf("fleet exposition fails lint: %v", errs)
+	}
+	for _, node := range []string{"a", "b"} {
+		if !strings.Contains(string(fleetText), `dominod_node_info{node="`+node+`"} 1`) {
+			t.Fatalf("node %s identity missing from fleet exposition:\n%s", node, fleetText)
+		}
+	}
+
+	_, snapA := scrape(a.ts.URL)
+	_, snapB := scrape(b.ts.URL)
+	want, err := obs.Merge(snapA, snapB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wf := range want.Families {
+		var got *obs.Family
+		for i := range fleetSnap.Families {
+			if fleetSnap.Families[i].Name == wf.Name {
+				got = &fleetSnap.Families[i]
+				break
+			}
+		}
+		if got == nil {
+			t.Fatalf("family %s missing from fleet exposition", wf.Name)
+		}
+		var gotBuf, wantBuf bytes.Buffer
+		if err := (obs.Snapshot{Families: []obs.Family{*got}}).WriteText(&gotBuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := (obs.Snapshot{Families: []obs.Family{wf}}).WriteText(&wantBuf); err != nil {
+			t.Fatal(err)
+		}
+		if gotBuf.String() != wantBuf.String() {
+			t.Fatalf("family %s != Merge of per-node snapshots:\nfleet:\n%s\nmerge:\n%s",
+				wf.Name, gotBuf.String(), wantBuf.String())
+		}
+	}
+}

@@ -147,6 +147,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	storeSync := fs.Int("store-sync", 1, "journal appends per fsync (group commit; 1 = every report durable on ack)")
 	checkpointEvery := fs.Int("checkpoint-every", 1024, "journal appends between automatic checkpoints (0 = checkpoint only at shutdown)")
 	fixedClock := fs.Int64("fixed-clock", 0, "fix the fleet clock to this microsecond timestamp for deterministic runs (0 = wall clock)")
+	nodeID := fs.String("node-id", "", "node identity surfaced on /healthz and as dominod_node_info{node=...} so merged fleet expositions attribute samples (default: hostname)")
 	verbose := fs.Bool("v", false, "log per-session lifecycle events (debug level)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -200,6 +201,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		AdmitWait:   *admitWait,
 		StreamIdle:  *streamIdle,
 		Log:         logger,
+		NodeID:      *nodeID,
+	}
+	if opts.NodeID == "" {
+		if host, err := os.Hostname(); err == nil {
+			opts.NodeID = host
+		}
 	}
 	if *fixedClock != 0 {
 		at := sim.Time(*fixedClock)
@@ -281,7 +288,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer dbg.Close()
 		srv.log.Info("pprof enabled", "addr", *debugAddr)
 	}
-	srv.log.Info("listening", "addr", *addr, "stream_slots", *maxStreams, "chains", len(analyzer.Chains()))
+	srv.log.Info("listening", "addr", *addr, "node", opts.NodeID, "stream_slots", *maxStreams, "chains", len(analyzer.Chains()))
 	select {
 	case err := <-errc:
 		fmt.Fprintln(stderr, "dominod:", err)
@@ -383,6 +390,10 @@ type serverOptions struct {
 	// Recovery, when non-nil, carries the boot recovery stats so
 	// newServer can surface them on /metrics.
 	Recovery *rcastore.RecoveryStats
+	// NodeID names this node on /healthz and in the
+	// dominod_node_info{node=...} metric, so a fleet tier merging many
+	// nodes' expositions can attribute samples. Empty omits both.
+	NodeID string
 }
 
 // server multiplexes concurrent session streams over one shared

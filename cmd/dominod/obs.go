@@ -305,6 +305,11 @@ func (s *server) registerGauges() {
 		}
 		return 0
 	})
+	if s.opts.NodeID != "" {
+		reg.Gauge("dominod_node_info",
+			"Node identity; the value is always 1, the node ID rides in the label.",
+			obs.L("node", s.opts.NodeID)).Set(1)
+	}
 	reg.GaugeFunc("dominod_analyzer_pool_hit_ratio", "Fraction of analyzer checkouts served from the pool.", func() float64 {
 		gets := s.m.poolGets.Value()
 		if gets == 0 {
@@ -344,6 +349,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, code, map[string]string{
 		"status":     status,
+		"node":       s.opts.NodeID,
 		"version":    version,
 		"go_version": goVersion,
 	})

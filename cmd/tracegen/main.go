@@ -164,8 +164,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stderr, "tracegen: uploaded session %s to %s (%d attempt(s), %d resumed)\n",
-			id, *upload, stats.Attempts, stats.Resumed)
+		fmt.Fprintf(stderr, "tracegen: uploaded session %s to %s (%d attempt(s), %d resumed, %d shed-retries)\n",
+			id, *upload, stats.Attempts, stats.Resumed, stats.ShedRetries)
 	}
 	if *upload == "" || *out != "-" {
 		w := io.Writer(stdout)

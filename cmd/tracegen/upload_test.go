@@ -70,6 +70,11 @@ func TestUploadRetriesAgainstFlakyServer(t *testing.T) {
 	if !strings.Contains(stderr.String(), "uploaded session flaky-call") {
 		t.Fatalf("stderr missing upload summary: %s", stderr.String())
 	}
+	// The summary surfaces the full client Stats: both 503 rounds are
+	// shed retries, and nothing resumed (the watermark stub reports 0).
+	if !strings.Contains(stderr.String(), "(3 attempt(s), 0 resumed, 2 shed-retries)") {
+		t.Fatalf("summary missing client stats: %s", stderr.String())
+	}
 	if stdout.Len() != 0 {
 		t.Fatalf("upload-only run wrote %d bytes to stdout", stdout.Len())
 	}

@@ -1,0 +1,611 @@
+package balancer
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/domino5g/domino/internal/ingest"
+	"github.com/domino5g/domino/internal/rcastore"
+	"github.com/domino5g/domino/internal/sim"
+)
+
+// errNoBackends is returned when the healthy set is empty.
+var errNoBackends = fmt.Errorf("no healthy backends")
+
+// handleIngest admits a session (or the next chunk of one), pins it
+// to a backend, and proxies the body. Failure handling is the point:
+//
+//   - if the pinned backend is down or draining when the chunk
+//     arrives, the session fails over first — the balancer re-pins by
+//     HRW over the surviving nodes and replays its acknowledged
+//     prefix at seq 0, which is exactly the new node's watermark;
+//   - if the backend dies under an in-flight proxy, the client gets a
+//     retryable 503 + Retry-After and the internal/ingest backoff
+//     path takes over: probe watermark (now answered by the new
+//     pin), resend what is missing.
+func (b *Balancer) handleIngest(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("session")
+	if id == "" {
+		// Affinity needs a name; mint one so even anonymous legacy
+		// uploads route consistently.
+		id = fmt.Sprintf("lb-%d", b.nextID.Add(1))
+	}
+	sess := b.session(id)
+	// One chunk at a time per session: the protocol is sequential and
+	// a concurrent duplicate would corrupt replay accounting.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	resumable := r.Header.Get(ingest.HeaderSeq) != ""
+	sess.resumable = sess.resumable || resumable
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		sess.contentType = ct
+	}
+	if err := b.ensureBackend(r.Context(), sess); err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("session %s: %v", id, err))
+		return
+	}
+	b.forward(w, r, sess, id)
+}
+
+// ensureBackend gives sess a live pin, failing it over when the
+// current one left the fleet. Callers hold sess.mu.
+func (b *Balancer) ensureBackend(ctx context.Context, sess *lbSession) error {
+	cur := sess.backend
+	if cur != nil && cur.State() == stateUp {
+		return nil
+	}
+	next := b.pick(sess.id)
+	if next == nil {
+		return errNoBackends
+	}
+	if cur == nil {
+		sess.backend = next
+		return nil
+	}
+	// Failover. The new node has never seen this session (watermark
+	// 0): replay the acknowledged prefix if we still hold it aligned,
+	// otherwise reset so the client's own resend starts from scratch.
+	b.m.failovers.Inc()
+	sess.failovers++
+	b.log.Warn("session failover", "session", sess.id, "from", cur.url, "to", next.url,
+		"replay_bytes", len(sess.buf), "accepted", sess.accepted)
+	if len(sess.buf) > 0 && !sess.overflow {
+		if err := b.replay(ctx, sess, next); err != nil {
+			return fmt.Errorf("failover replay: %w", err)
+		}
+	} else {
+		sess.accepted = 0
+		sess.buf = nil
+	}
+	sess.backend = next
+	return nil
+}
+
+// replay re-ingests a session's acknowledged prefix into a fresh
+// backend: one POST at seq 0 (the new node's watermark), no EOS, so
+// the stream continues where the client left off.
+func (b *Balancer) replay(ctx context.Context, sess *lbSession, be *backend) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		be.url+"/ingest?session="+url.QueryEscape(sess.id), bytes.NewReader(sess.buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", sess.contentType)
+	req.Header.Set(ingest.HeaderSeq, "0")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		b.backendFailed(be, err)
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("backend %s answered %d: %s", be.url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var wm ingest.Watermark
+	if err := json.Unmarshal(body, &wm); err != nil {
+		return fmt.Errorf("backend %s watermark: %w", be.url, err)
+	}
+	sess.accepted = wm.Accepted
+	b.m.replayedBytes.Add(int64(len(sess.buf)))
+	return nil
+}
+
+// forward proxies one ingest chunk to the session's pinned backend,
+// teeing the body into the replay buffer and committing it only once
+// the backend acknowledges. Callers hold sess.mu.
+func (b *Balancer) forward(w http.ResponseWriter, r *http.Request, sess *lbSession, id string) {
+	be := sess.backend
+	var pending *bytes.Buffer
+	var body io.Reader = r.Body
+	if sess.resumable && !sess.overflow && b.opts.ReplayMax > 0 {
+		pending = &bytes.Buffer{}
+		body = io.TeeReader(r.Body, pending)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		be.url+"/ingest?session="+url.QueryEscape(id), body)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", sess.contentType)
+	for _, h := range []string{ingest.HeaderSeq, ingest.HeaderEos} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		// The backend vanished under the stream. We cannot replay the
+		// client's body (it is half-consumed); hand the failure to the
+		// client's retry loop, and let the failure feed health so the
+		// next attempt fails over.
+		b.backendFailed(be, err)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("backend lost mid-upload (%v); retry to fail over", err))
+		return
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		b.backendFailed(be, err)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("backend lost mid-response (%v); retry to fail over", err))
+		return
+	}
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Final report: the session is complete, the buffer has done
+		// its job.
+		sess.done = true
+		sess.buf = nil
+		sess.overflow = false
+	case http.StatusAccepted:
+		// Chunk acknowledged: commit the teed bytes to the replay
+		// buffer and advance the acknowledged watermark.
+		var wm ingest.Watermark
+		if json.Unmarshal(respBody, &wm) == nil {
+			sess.accepted = wm.Accepted
+		}
+		if pending != nil {
+			sess.buf = append(sess.buf, pending.Bytes()...)
+			if int64(len(sess.buf)) > b.opts.ReplayMax {
+				sess.buf = nil
+				sess.overflow = true
+			}
+		}
+	case http.StatusServiceUnavailable:
+		// The backend is shedding or draining; reflect draining into
+		// the fleet view right away so the client's retry re-pins
+		// instead of bouncing off the same node.
+		if strings.Contains(string(respBody), "draining") {
+			if be.noteState(stateDraining, "") {
+				b.log.Info("backend draining (ingest reject)", "backend", be.url)
+			}
+		}
+	}
+	copyHeader(w, resp.Header, "Content-Type")
+	copyHeader(w, resp.Header, "Retry-After")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(respBody)
+}
+
+// backendFailed folds a data-path failure into backend health.
+func (b *Balancer) backendFailed(be *backend, err error) {
+	b.m.proxyErrors.Inc()
+	if be.noteFailure(b.opts.FailThreshold) {
+		b.log.Warn("backend down (proxy error)", "backend", be.url, "err", err)
+	}
+}
+
+func copyHeader(w http.ResponseWriter, h http.Header, name string) {
+	if v := h.Get(name); v != "" {
+		w.Header().Set(name, v)
+	}
+}
+
+// handleWatermark serves a session's resume point. For a session the
+// balancer routed, this runs failover first, so the answer reflects
+// the node the next POST will land on — that is what makes the
+// client-resend failover path converge.
+func (b *Balancer) handleWatermark(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if sess := b.lookup(id); sess != nil {
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		if err := b.ensureBackend(r.Context(), sess); err != nil {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		b.passThrough(w, r.Context(), sess.backend, "/sessions/"+url.PathEscape(id)+"/watermark")
+		return
+	}
+	// Unknown to this balancer (admitted before a restart, or direct
+	// to a node): first backend that knows it wins.
+	for _, be := range b.reachable() {
+		if b.tryPassThrough(w, r.Context(), be, "/sessions/"+url.PathEscape(id)+"/watermark") {
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, "no such session")
+}
+
+// handleReport routes to the owning backend, falling back to asking
+// the fleet.
+func (b *Balancer) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	path := "/report/" + url.PathEscape(id)
+	if sess := b.lookup(id); sess != nil {
+		sess.mu.Lock()
+		be := sess.backend
+		sess.mu.Unlock()
+		if be != nil && be.State() != stateDown && b.tryPassThrough(w, r.Context(), be, path) {
+			return
+		}
+	}
+	for _, be := range b.reachable() {
+		if b.tryPassThrough(w, r.Context(), be, path) {
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, "no such session")
+}
+
+// reachable lists backends worth asking for reads: everything not
+// down. Draining nodes still answer reads for what they hold.
+func (b *Balancer) reachable() []*backend {
+	out := make([]*backend, 0, len(b.backends))
+	for _, be := range b.backends {
+		if be.State() != stateDown {
+			out = append(out, be)
+		}
+	}
+	return out
+}
+
+// passThrough proxies one GET verbatim — status, content type, body.
+func (b *Balancer) passThrough(w http.ResponseWriter, ctx context.Context, be *backend, path string) {
+	resp, err := b.get(ctx, be, path)
+	if err != nil {
+		b.backendFailed(be, err)
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	copyHeader(w, resp.Header, "Content-Type")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// tryPassThrough proxies a GET only if the backend answers 200;
+// a miss (404, error) leaves the ResponseWriter untouched so the
+// caller can try elsewhere.
+func (b *Balancer) tryPassThrough(w http.ResponseWriter, ctx context.Context, be *backend, path string) bool {
+	resp, err := b.get(ctx, be, path)
+	if err != nil {
+		b.backendFailed(be, err)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return false
+	}
+	copyHeader(w, resp.Header, "Content-Type")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+func (b *Balancer) get(ctx context.Context, be *backend, pathAndQuery string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, be.url+pathAndQuery, nil)
+	if err != nil {
+		return nil, err
+	}
+	return b.client.Do(req)
+}
+
+// fanGet issues one GET per reachable backend and returns the decoded
+// 200-bodies. Individual failures are logged and skipped — a degraded
+// fleet still answers with what it has.
+func fanGet[T any](b *Balancer, ctx context.Context, pathAndQuery string) []T {
+	var out []T
+	for _, be := range b.reachable() {
+		resp, err := b.get(ctx, be, pathAndQuery)
+		if err != nil {
+			b.backendFailed(be, err)
+			continue
+		}
+		var v T
+		ok := resp.StatusCode == http.StatusOK
+		if ok {
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				b.log.Warn("fan-out decode failed", "backend", be.url, "path", pathAndQuery, "err", err)
+				ok = false
+			}
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// handleSessions fans /sessions across the fleet and merges the
+// per-node session summaries, ordered by session id.
+func (b *Balancer) handleSessions(w http.ResponseWriter, r *http.Request) {
+	parts := fanGet[[]json.RawMessage](b, r.Context(), "/sessions")
+	type keyed struct {
+		id  string
+		raw json.RawMessage
+	}
+	var all []keyed
+	for _, part := range parts {
+		for _, raw := range part {
+			var peek struct {
+				Session string `json:"session"`
+			}
+			_ = json.Unmarshal(raw, &peek)
+			all = append(all, keyed{id: peek.Session, raw: raw})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].id < all[j].id })
+	out := make([]json.RawMessage, len(all))
+	for i, k := range all {
+		out[i] = k.raw
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleQuery fans /query across the fleet and merges per-node
+// results into fleet-wide answers: records interleave by start time,
+// top_chains re-aggregate by chain, cause_rates re-derive rates from
+// summed runs over summed session minutes.
+func (b *Balancer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	pathAndQuery := "/query"
+	if r.URL.RawQuery != "" {
+		pathAndQuery += "?" + r.URL.RawQuery
+	}
+	switch agg := r.URL.Query().Get("agg"); agg {
+	case "":
+		limit := 0
+		if v := r.URL.Query().Get("limit"); v != "" {
+			limit, _ = strconv.Atoi(v)
+		}
+		type recordsResp struct {
+			Records []rcastore.Record `json:"records"`
+		}
+		var records []rcastore.Record
+		for _, part := range fanGet[recordsResp](b, r.Context(), pathAndQuery) {
+			records = append(records, part.Records...)
+		}
+		sort.SliceStable(records, func(i, j int) bool {
+			if records[i].Start != records[j].Start {
+				return records[i].Start < records[j].Start
+			}
+			return records[i].Session < records[j].Session
+		})
+		if limit > 0 && len(records) > limit {
+			records = records[:limit]
+		}
+		if records == nil {
+			records = []rcastore.Record{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"records": records})
+	case "top_chains":
+		k := 10
+		if v := r.URL.Query().Get("k"); v != "" {
+			k, _ = strconv.Atoi(v)
+		}
+		type chainsResp struct {
+			TopChains []rcastore.ChainAgg `json:"top_chains"`
+		}
+		byChain := map[string]*rcastore.ChainAgg{}
+		for _, part := range fanGet[chainsResp](b, r.Context(), pathAndQuery) {
+			for _, c := range part.TopChains {
+				a := byChain[c.Chain]
+				if a == nil {
+					cp := c
+					byChain[c.Chain] = &cp
+					continue
+				}
+				a.Runs += c.Runs
+				a.Sessions += c.Sessions
+			}
+		}
+		out := make([]rcastore.ChainAgg, 0, len(byChain))
+		for _, a := range byChain {
+			out = append(out, *a)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Runs != out[j].Runs {
+				return out[i].Runs > out[j].Runs
+			}
+			return out[i].Chain < out[j].Chain
+		})
+		if k > 0 && len(out) > k {
+			out = out[:k]
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"top_chains": out})
+	case "cause_rates":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"cause_rates": b.mergeCauseRates(r.Context(), pathAndQuery),
+		})
+	default:
+		// Let a backend phrase the error for unknown aggregations.
+		for _, be := range b.reachable() {
+			b.passThrough(w, r.Context(), be, pathAndQuery)
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, errNoBackends.Error())
+	}
+}
+
+// mergeCauseRates re-aggregates per-node cause-rate buckets. Runs sum
+// per (cell, bucket, cause); Sessions and Minutes sum per (cell,
+// bucket) group — each node reports its group denominator on every
+// row, so per node the group values are taken once — and the rate is
+// re-derived from the merged numerator and denominator.
+func (b *Balancer) mergeCauseRates(ctx context.Context, pathAndQuery string) []rcastore.CauseBucket {
+	type ratesResp struct {
+		CauseRates []rcastore.CauseBucket `json:"cause_rates"`
+	}
+	type groupKey struct {
+		cell   string
+		bucket int64
+	}
+	type cellKey struct {
+		groupKey
+		cause string
+	}
+	runs := map[cellKey]int{}
+	sessions := map[groupKey]int{}
+	minutes := map[groupKey]float64{}
+	for _, part := range fanGet[ratesResp](b, ctx, pathAndQuery) {
+		grouped := map[groupKey]bool{}
+		for _, cb := range part.CauseRates {
+			g := groupKey{cell: cb.Cell, bucket: int64(cb.Bucket)}
+			runs[cellKey{groupKey: g, cause: cb.Cause}] += cb.Runs
+			if !grouped[g] {
+				grouped[g] = true
+				sessions[g] += cb.Sessions
+				minutes[g] += cb.Minutes
+			}
+		}
+	}
+	out := make([]rcastore.CauseBucket, 0, len(runs))
+	for k, n := range runs {
+		cb := rcastore.CauseBucket{
+			Cell: k.cell, Bucket: sim.Time(k.bucket), Cause: k.cause,
+			Runs: n, Sessions: sessions[k.groupKey], Minutes: minutes[k.groupKey],
+		}
+		if cb.Minutes > 0 {
+			cb.RunsPerMin = float64(n) / cb.Minutes
+		}
+		out = append(out, cb)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cell != out[j].Cell {
+			return out[i].Cell < out[j].Cell
+		}
+		if out[i].Bucket != out[j].Bucket {
+			return out[i].Bucket < out[j].Bucket
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
+}
+
+// handleSimilar fans nearest-incident lookups. A fired= probe fans
+// directly; a session= probe first resolves the probe signature from
+// whichever node holds the session, then queries the rest of the
+// fleet with the explicit signature and merges.
+func (b *Balancer) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	type similarResp struct {
+		Fired   []string         `json:"fired"`
+		Matches []rcastore.Match `json:"matches"`
+	}
+	k := 5
+	if v := r.URL.Query().Get("k"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			k = n
+		}
+	}
+	q := r.URL.Query()
+	probeSession := q.Get("session")
+	var fired []string
+	var matches []rcastore.Match
+	if probeSession != "" {
+		// Resolve the probe signature from the node that stored the
+		// session; its own matches come along for free.
+		found := false
+		path := "/incidents/similar"
+		if r.URL.RawQuery != "" {
+			path += "?" + r.URL.RawQuery
+		}
+		for _, be := range b.reachable() {
+			resp, err := b.get(r.Context(), be, path)
+			if err != nil {
+				b.backendFailed(be, err)
+				continue
+			}
+			var sr similarResp
+			if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&sr) == nil {
+				fired, matches, found = sr.Fired, sr.Matches, true
+			}
+			resp.Body.Close()
+			if found {
+				break
+			}
+		}
+		if !found {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("session %q has no stored report on any node", probeSession))
+			return
+		}
+		// Rewrite the query for the rest of the fleet: explicit
+		// signature, no session (they do not hold it).
+		q.Del("session")
+		q.Set("fired", strings.Join(fired, ","))
+	}
+	fanQuery := "/incidents/similar?" + q.Encode()
+	for _, part := range fanGet[similarResp](b, r.Context(), fanQuery) {
+		if fired == nil {
+			fired = part.Fired
+		}
+		matches = append(matches, part.Matches...)
+	}
+	if fired == nil {
+		// No backend produced an answer; surface the fleet state or
+		// the parameter error from a live node.
+		for _, be := range b.reachable() {
+			b.passThrough(w, r.Context(), be, fanQuery)
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, errNoBackends.Error())
+		return
+	}
+	// Dedup (the probe-owning node answered twice when session= was
+	// given), drop the probe itself, re-rank: distance, then recency,
+	// then session.
+	seen := map[string]bool{}
+	out := matches[:0]
+	for _, m := range matches {
+		if m.Session == probeSession || seen[m.Session] {
+			continue
+		}
+		seen[m.Session] = true
+		out = append(out, m)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		if out[i].End != out[j].End {
+			return out[i].End > out[j].End
+		}
+		return out[i].Session < out[j].Session
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	if out == nil {
+		out = []rcastore.Match{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fired": fired, "matches": out})
+}

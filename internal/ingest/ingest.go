@@ -91,6 +91,10 @@ type Options struct {
 type UploadStats struct {
 	Attempts int // POSTs issued, including the successful one
 	Resumed  int // retries that replayed from a nonzero watermark
+	// ShedRetries counts retries forced by load shedding or failover:
+	// 429s and 503s, the statuses dominod and dominolb answer with when
+	// telling the client "back off and try again".
+	ShedRetries int
 }
 
 // Client uploads session traces with retry and resume. Safe for
@@ -137,6 +141,9 @@ func (c *Client) Upload(ctx context.Context, session, contentType string, payloa
 		case err != nil:
 			lastErr = fmt.Errorf("ingest %s attempt %d: %w", session, stats.Attempts, err)
 		case retryableStatus(status):
+			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+				stats.ShedRetries++
+			}
 			lastErr = fmt.Errorf("ingest %s attempt %d: server returned %d", session, stats.Attempts, status)
 		default:
 			return stats, fmt.Errorf("ingest %s: permanent failure, server returned %d", session, status)

@@ -188,6 +188,32 @@ func TestUploadHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestUploadBalancerShed503 is the dominolb failover contract from the
+// client's side: a balancer that loses a backend mid-upload answers
+// with a retryable 503 plus Retry-After, and the client must honor the
+// hint, retry, land the payload — and account the round as a shed
+// retry in UploadStats.
+func TestUploadBalancerShed503(t *testing.T) {
+	stub := &stubServer{script: []verdict{{take: 0, status: http.StatusServiceUnavailable, retryAfter: 2}}}
+	srv := httptest.NewServer(stub.handler(t))
+	defer srv.Close()
+	var slept []time.Duration
+	c := New(Options{
+		BaseURL: srv.URL, Retries: 2, Backoff: time.Millisecond, Seed: 1,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	})
+	stats, err := c.Upload(context.Background(), "s1", ContentTypeJSONL, payloadLines(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("slept %v, want the balancer's 2s Retry-After", slept)
+	}
+	if stats.Attempts != 2 || stats.ShedRetries != 1 {
+		t.Fatalf("stats = %+v, want 2 attempts with 1 shed retry", stats)
+	}
+}
+
 func TestUploadPermanentFailure(t *testing.T) {
 	stub := &stubServer{script: []verdict{{take: 0, status: http.StatusRequestEntityTooLarge}}}
 	srv := httptest.NewServer(stub.handler(t))

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundTripRegistry builds a registry exercising every metric kind and
+// the exposition escapes, returns its snapshot.
+func roundTripSnapshot(t *testing.T) Snapshot {
+	t.Helper()
+	r := NewRegistry()
+	c := r.Counter("rt_requests_total", "Requests handled.", L("node", "a"), L("path", `with "quotes" and \slash`))
+	c.Add(41)
+	r.Counter("rt_requests_total", "Requests handled.", L("node", "b")).Add(1)
+	g := r.Gauge("rt_temperature", "Help with\nnewline and \\ backslash.")
+	g.Set(-3.25)
+	h := r.Histogram("rt_latency_us", "Latency.", []float64{100, 1000, 10000}, L("shard", "0"))
+	for _, v := range []float64{50, 150, 2500, 99999} {
+		h.Observe(v)
+	}
+	// A histogram series with zero observations must survive too.
+	r.Histogram("rt_idle_us", "Never observed.", []float64{1, 2})
+	return r.Snapshot()
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	want := roundTripSnapshot(t)
+	var buf bytes.Buffer
+	if err := want.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\ninput:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\ngot  %+v\nwant %+v\ninput:\n%s", got, want, buf.String())
+	}
+	// And the parsed snapshot re-renders byte-identically.
+	var again bytes.Buffer
+	if err := got.WriteText(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Fatalf("re-render diverged:\nfirst:\n%s\nsecond:\n%s", buf.String(), again.String())
+	}
+}
+
+// TestParseTextMergesAcrossNodes is the federation seam end to end:
+// two nodes' expositions parse, Merge, and the merged text lints.
+func TestParseTextMergesAcrossNodes(t *testing.T) {
+	render := func(node string, requests int64) []byte {
+		r := NewRegistry()
+		r.Counter("fleet_requests_total", "Requests.", L("node", node)).Add(requests)
+		r.Gauge("fleet_sessions", "Active sessions.").Set(2)
+		h := r.Histogram("fleet_latency_us", "Latency.", []float64{10, 100})
+		h.Observe(5)
+		h.Observe(50)
+		var buf bytes.Buffer
+		if err := r.Snapshot().WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, err := ParseText(bytes.NewReader(render("a", 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseText(bytes.NewReader(render("b", 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := merged.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	errs, stats := Lint(bytes.NewReader(buf.Bytes()))
+	for _, e := range errs {
+		t.Errorf("merged exposition: %v", e)
+	}
+	if stats.Families != 3 {
+		t.Fatalf("families = %d, want 3", stats.Families)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `fleet_requests_total{node="a"} 10`) ||
+		!strings.Contains(text, `fleet_requests_total{node="b"} 32`) {
+		t.Fatalf("per-node counters missing:\n%s", text)
+	}
+	if !strings.Contains(text, "fleet_sessions 4") {
+		t.Fatalf("gauge not summed:\n%s", text)
+	}
+	if !strings.Contains(text, `fleet_latency_us_bucket{le="100"} 4`) ||
+		!strings.Contains(text, "fleet_latency_us_count 4") {
+		t.Fatalf("histogram not summed bucket-wise:\n%s", text)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"sample before metadata", "up 1\n", "before # HELP"},
+		{"type without help", "# TYPE up gauge\nup 1\n", "without preceding HELP"},
+		{"help without type", "# HELP up Up.\nup 1\n", "before # HELP and # TYPE"},
+		{"unsupported type", "# HELP s Sum.\n# TYPE s summary\n", "unsupported TYPE"},
+		{"duplicate family", "# HELP a A.\n# TYPE a gauge\na 1\n# HELP a A.\n# TYPE a gauge\n", "declared twice"},
+		{"foreign sample in block", "# HELP a A.\n# TYPE a gauge\nb 1\n", "outside family"},
+		{"bad value", "# HELP a A.\n# TYPE a gauge\na nope\n", "bad value"},
+		{"histogram without inf", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 0\nh_sum 0\nh_count 0\n", "no +Inf"},
+		{"inf count mismatch", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 0\nh_count 3\n", "!= _count"},
+		{"buckets out of order", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"10\"} 0\nh_bucket{le=\"5\"} 0\n", "out of order"},
+		{"fractional bucket count", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1.5\n", "integral"},
+		{"unterminated labels", "# HELP a A.\n# TYPE a gauge\na{x=\"1\" 1\n", "unterminated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseText(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("parsed malformed doc without error:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseTextIgnoresCommentsAndTimestamps: plain comments and
+// optional sample timestamps are part of the format and must not trip
+// the strict parser.
+func TestParseTextIgnoresCommentsAndTimestamps(t *testing.T) {
+	doc := "# just a comment\n# HELP a_total A.\n# TYPE a_total counter\n\na_total{x=\"1\"} 7 1754000000\n"
+	snap, err := ParseText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Families) != 1 || snap.Families[0].Samples[0].Value != 7 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}

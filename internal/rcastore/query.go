@@ -242,6 +242,10 @@ type CauseBucket struct {
 	// across buckets.
 	Runs     int `json:"runs"`
 	Sessions int `json:"sessions"`
+	// Minutes is the group's total session minutes — the RunsPerMin
+	// denominator, carried explicitly so a fleet tier can re-derive the
+	// rate after summing Runs and Minutes across nodes.
+	Minutes float64 `json:"minutes"`
 	// RunsPerMin normalizes Runs by the group's total session minutes.
 	RunsPerMin float64 `json:"runs_per_min"`
 }
@@ -285,6 +289,7 @@ func (s *Store) CauseRates(q Query, bucket sim.Time) []CauseBucket {
 			Cause:    s.causes.name(k.cause),
 			Runs:     n,
 			Sessions: sessions[k.groupKey],
+			Minutes:  minutes[k.groupKey],
 		}
 		if m := minutes[k.groupKey]; m > 0 {
 			cb.RunsPerMin = float64(n) / m

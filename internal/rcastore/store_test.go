@@ -255,10 +255,10 @@ func TestTopChainsAndCauseRates(t *testing.T) {
 	// Expect (fdd,1m,ul), (tdd,0,harq), (tdd,0,ul), (tdd,1m,harq) in
 	// (cell, bucket, cause) order.
 	want := []CauseBucket{
-		{Cell: "fdd", Bucket: sim.Minute, Cause: "ul_scheduling", Runs: 1, Sessions: 1, RunsPerMin: 1},
-		{Cell: "tdd", Bucket: 0, Cause: "harq_retx", Runs: 2, Sessions: 1, RunsPerMin: 2},
-		{Cell: "tdd", Bucket: 0, Cause: "ul_scheduling", Runs: 5, Sessions: 1, RunsPerMin: 5},
-		{Cell: "tdd", Bucket: sim.Minute, Cause: "harq_retx", Runs: 4, Sessions: 1, RunsPerMin: 4},
+		{Cell: "fdd", Bucket: sim.Minute, Cause: "ul_scheduling", Runs: 1, Sessions: 1, Minutes: 1, RunsPerMin: 1},
+		{Cell: "tdd", Bucket: 0, Cause: "harq_retx", Runs: 2, Sessions: 1, Minutes: 1, RunsPerMin: 2},
+		{Cell: "tdd", Bucket: 0, Cause: "ul_scheduling", Runs: 5, Sessions: 1, Minutes: 1, RunsPerMin: 5},
+		{Cell: "tdd", Bucket: sim.Minute, Cause: "harq_retx", Runs: 4, Sessions: 1, Minutes: 1, RunsPerMin: 4},
 	}
 	if !reflect.DeepEqual(rates, want) {
 		t.Fatalf("CauseRates = %+v\nwant %+v", rates, want)

@@ -18,7 +18,6 @@ set -eu
 
 OUT_DIR="${OUT_DIR:-chaos-smoke}"
 ADDR="${ADDR:-127.0.0.1:18177}"
-CLOCK=1754000000000000
 
 mkdir -p "$OUT_DIR"
 BIN_DIR="$(mktemp -d)"
@@ -30,41 +29,29 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
+. "$(dirname "$0")/smoke_lib.sh"
+
 echo "== building dominod and tracegen"
-go build -o "$BIN_DIR" ./cmd/dominod ./cmd/tracegen
-
-start_dominod() { # $1 = checkpoint path, $2 = log file
-    "$BIN_DIR/dominod" -addr "$ADDR" -store-spill "$1" -fixed-clock "$CLOCK" \
-        -log-format json -v >>"$2" 2>&1 &
-    DOMINOD_PID=$!
-    for _ in $(seq 1 50); do
-        if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
-        sleep 0.1
-    done
-    echo "dominod never became healthy"; cat "$2"; exit 1
-}
-
-upload() { # $1 = session, $2 = cell, $3 = seed, $4 = duration
-    "$BIN_DIR/tracegen" -cell "$2" -seed "$3" -duration "$4" \
-        -upload "http://$ADDR" -session "$1" -retries 8 -backoff 100ms 2>/dev/null
-}
+smoke_build ./cmd/dominod ./cmd/tracegen
 
 echo "== run A: four sessions, graceful shutdown"
-start_dominod "$WORK/a.spill" "$OUT_DIR/dominod-a.log"
-upload s1 amarisoft 11 10
-upload s2 mosolabs 12 10
-upload s3 tmobile-tdd 13 10
-upload doomed tmobile-fdd 14 40
+start_dominod "$ADDR" "$WORK/a.spill" "$OUT_DIR/dominod-a.log"
+DOMINOD_PID=$STARTED_PID
+upload "http://$ADDR" s1 amarisoft 11 10
+upload "http://$ADDR" s2 mosolabs 12 10
+upload "http://$ADDR" s3 tmobile-tdd 13 10
+upload "http://$ADDR" doomed tmobile-fdd 14 40
 kill -TERM "$DOMINOD_PID"
 wait "$DOMINOD_PID" || true
 DOMINOD_PID=""
 [ -s "$WORK/a.spill" ] || { echo "run A left no checkpoint"; exit 1; }
 
 echo "== run B: three sessions, then kill -9 mid-upload"
-start_dominod "$WORK/b.spill" "$OUT_DIR/dominod-b.log"
-upload s1 amarisoft 11 10
-upload s2 mosolabs 12 10
-upload s3 tmobile-tdd 13 10
+start_dominod "$ADDR" "$WORK/b.spill" "$OUT_DIR/dominod-b.log"
+DOMINOD_PID=$STARTED_PID
+upload "http://$ADDR" s1 amarisoft 11 10
+upload "http://$ADDR" s2 mosolabs 12 10
+upload "http://$ADDR" s3 tmobile-tdd 13 10
 # The fourth upload is throttled so the SIGKILL lands mid-stream.
 "$BIN_DIR/tracegen" -cell tmobile-fdd -seed 14 -duration 40 -o "$WORK/doomed.jsonl" 2>/dev/null
 set +e
@@ -85,7 +72,8 @@ DOMINOD_PID=""
 cp "$WORK/b.spill.wal" "$OUT_DIR/journal-after-crash.wal"
 
 echo "== restarting on the surviving journal"
-start_dominod "$WORK/b.spill" "$OUT_DIR/dominod-b.log"
+start_dominod "$ADDR" "$WORK/b.spill" "$OUT_DIR/dominod-b.log"
+DOMINOD_PID=$STARTED_PID
 grep -q '"replayed":3' "$OUT_DIR/dominod-b.log" || {
     echo "restart did not replay the three journaled reports"
     grep '"RCA store recovered"' "$OUT_DIR/dominod-b.log" || true; exit 1; }
@@ -93,7 +81,7 @@ grep -q '"replayed":3' "$OUT_DIR/dominod-b.log" || {
 # interrupted session is unknown and is simply delivered again.
 code="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/report/doomed")"
 [ "$code" = "404" ] || { echo "interrupted session survived the crash ($code)"; exit 1; }
-upload doomed tmobile-fdd 14 40
+upload "http://$ADDR" doomed tmobile-fdd 14 40
 kill -TERM "$DOMINOD_PID"
 wait "$DOMINOD_PID" || true
 DOMINOD_PID=""

@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# smoke_lib.sh — shared helpers for the multi-process smoke scripts
+# (chaos_smoke.sh, fleet_smoke.sh). Source it, don't execute it:
+#
+#   BIN_DIR="$(mktemp -d)"
+#   . "$(dirname "$0")/smoke_lib.sh"
+#
+# Callers must set BIN_DIR (where smoke_build drops binaries) before
+# calling the helpers. CLOCK is the shared -fixed-clock value: every
+# dominod in a smoke run pins its analyzer clock to it so reports from
+# different processes are byte-comparable.
+
+CLOCK="${CLOCK:-1754000000000000}"
+
+smoke_build() { # $@ = ./cmd/... package paths
+    go build -o "$BIN_DIR" "$@"
+}
+
+wait_healthy() { # $1 = host:port, $2 = log file to dump on failure
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "server at $1 never became healthy"
+    cat "$2"
+    return 1
+}
+
+start_dominod() { # $1 = host:port, $2 = checkpoint path, $3 = log file,
+                  # $4.. = extra dominod flags; sets STARTED_PID
+    _addr="$1"; _spill="$2"; _log="$3"; shift 3
+    "$BIN_DIR/dominod" -addr "$_addr" -store-spill "$_spill" \
+        -fixed-clock "$CLOCK" -log-format json -v "$@" >>"$_log" 2>&1 &
+    STARTED_PID=$!
+    wait_healthy "$_addr" "$_log"
+}
+
+upload() { # $1 = base URL, $2 = session, $3 = cell, $4 = seed, $5 = duration
+    # tracegen's summary line (attempts / resumed / shed-retries) goes
+    # to TRACEGEN_LOG when set, so scripts can assert on retry behavior.
+    "$BIN_DIR/tracegen" -cell "$3" -seed "$4" -duration "$5" \
+        -upload "$1" -session "$2" -retries 8 -backoff 100ms \
+        2>>"${TRACEGEN_LOG:-/dev/null}"
+}
